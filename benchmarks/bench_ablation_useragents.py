@@ -1,0 +1,52 @@
+"""Ablation — user-agent diversity (§3.2).
+
+The paper crawls each publisher with four Browser/OS profiles because
+campaigns target platforms (Lottery is mobile-only, Scareware is
+Windows-only).  This ablation re-runs discovery on the subset of
+interactions collected by 1..4 profiles and verifies that platform
+diversity is what buys category coverage.
+"""
+
+from repro.browser.useragent import PROFILES
+from repro.core.discovery import discover_campaigns
+
+
+def categories_found(result):
+    return {
+        cluster.category.value
+        for cluster in result.seacma_campaigns
+        if cluster.category is not None
+    }
+
+
+def test_ablation_user_agents(benchmark, bench_run, save_artifact):
+    interactions = bench_run.crawl.interactions
+    order = [profile.name for profile in PROFILES]
+
+    def sweep():
+        outcomes = {}
+        for take in range(1, len(order) + 1):
+            allowed = set(order[:take])
+            subset = [r for r in interactions if r.ua_name in allowed]
+            outcomes[take] = discover_campaigns(subset)
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = []
+    for take, result in sorted(outcomes.items()):
+        cats = categories_found(result)
+        lines.append(
+            f"{take} UA(s) ({', '.join(order[:take])}): "
+            f"{len(result.seacma_campaigns)} campaigns, categories: {sorted(cats)}"
+        )
+    save_artifact("ablation_useragents", "\n".join(lines))
+
+    # Desktop-only crawling (UA #1 = Chrome/macOS) cannot see the
+    # mobile-only Lottery campaigns; adding the Android profile can.
+    assert "Lottery/Gift" not in categories_found(outcomes[1])
+    full_cats = categories_found(outcomes[4])
+    assert categories_found(outcomes[1]) <= full_cats
+    # More profiles never lose campaigns.
+    counts = [len(outcomes[take].seacma_campaigns) for take in (1, 2, 3, 4)]
+    assert counts == sorted(counts)

@@ -1,0 +1,72 @@
+"""§3.2 cloaking — Propeller/Clickadu hide SE ads from datacenters.
+
+Benchmarks an A/B crawl of cloaking-network publishers from an
+institutional vantage vs a residential laptop and verifies the paper's
+observation: the cloaking networks serve no SE ads to non-residential IP
+space, while residential crawls get them.
+"""
+
+from repro.browser.useragent import CHROME_ANDROID, CHROME_MACOS, IE_WINDOWS
+from repro.core.crawler import crawl_session
+
+# Three platforms, so the A/B verdict can't hinge on one network's
+# platform-targeted inventory (e.g. no macOS-eligible campaigns).
+PROFILES = (CHROME_MACOS, IE_WINDOWS, CHROME_ANDROID)
+
+
+def cloaking_token_chains(world, interactions):
+    """Interactions whose ad chain went through Propeller or Clickadu."""
+    tokens = {
+        world.networks[key].spec.invariant_token for key in ("propeller", "clickadu")
+    }
+    hits = []
+    for record in interactions:
+        chain_text = " ".join(node.url for node in record.chain)
+        if any(f"/{token}/" in chain_text for token in tokens):
+            hits.append(record)
+    return hits
+
+
+def test_cloaking_ab(benchmark, bench_world, save_artifact):
+    world = bench_world
+    sites = [
+        site for site in world.publishers
+        if site.uses_network("propeller") or site.uses_network("clickadu")
+    ][:12]
+    assert sites
+
+    def crawl_from(vantage):
+        records = []
+        for site in sites:
+            for profile in PROFILES:
+                records.extend(
+                    crawl_session(world.internet, site.url, profile, vantage)
+                )
+        return records
+
+    def ab_run():
+        return (
+            crawl_from(world.vantage_institution),
+            crawl_from(world.vantages_residential[0]),
+        )
+
+    institution, residential = benchmark.pedantic(ab_run, rounds=2, iterations=1)
+
+    def se_count(records):
+        return sum(
+            1 for record in cloaking_token_chains(world, records)
+            if record.labels.get("kind") == "se-attack"
+        )
+
+    inst_se = se_count(institution)
+    res_se = se_count(residential)
+    save_artifact(
+        "cloaking_ab",
+        f"{len(sites)} Propeller/Clickadu publishers\n"
+        f"institutional vantage: {inst_se} SE ads via cloaking networks\n"
+        f"residential vantage:   {res_se} SE ads via cloaking networks",
+    )
+
+    # Cloaking networks never expose SE ads to non-residential space.
+    assert inst_se == 0
+    assert res_se > 0

@@ -1,0 +1,48 @@
+"""§4.3 cluster census — SE campaigns vs benign clusters.
+
+Benchmarks the full discovery stage (distinct pairs -> DBSCAN -> theta_c
+filter -> triage) on the crawl and verifies the census composition of
+§4.3: most kept clusters are SE campaigns, with the benign remainder
+drawn from parked domains, stock-image pages, URL shorteners and at most
+a spurious dead-page cluster.
+"""
+
+from repro.core.discovery import discover_campaigns
+
+
+def test_cluster_census(benchmark, bench_run, save_artifact):
+    interactions = bench_run.crawl.interactions
+
+    result = benchmark.pedantic(
+        discover_campaigns, args=(interactions,), rounds=3, iterations=1
+    )
+
+    census = result.census()
+    save_artifact(
+        "cluster_census",
+        "\n".join(f"{label}: {count}" for label, count in sorted(census.items())),
+    )
+
+    # SE campaigns are the majority of kept clusters (paper: 108 of 130;
+    # the exact ratio scales with how many benign template families the
+    # world carries relative to campaigns).
+    total = sum(census.values())
+    assert census["se-attack"] / total > 0.5
+    # The benign cluster families of §4.3.
+    benign_labels = set(census) - {"se-attack"}
+    assert benign_labels <= {"parked", "stock-adult", "shortener", "spurious", "advertiser"}
+    assert census.get("parked", 0) >= 1
+    assert census.get("shortener", 0) >= 1
+    assert census.get("spurious", 0) <= 2
+    # Every discovered SE cluster is a real campaign and none is split.
+    owners = {}
+    for cluster in result.seacma_campaigns:
+        keys = {
+            record.labels.get("campaign")
+            for record in cluster.interactions
+            if record.labels.get("campaign")
+        }
+        assert len(keys) == 1
+        key = keys.pop()
+        assert key not in owners, "campaign split across clusters"
+        owners[key] = cluster.cluster_id

@@ -1,0 +1,31 @@
+"""§6 ethics — advertiser cost accounting.
+
+Benchmarks the per-advertiser click-cost model over the crawl and
+verifies the paper's conclusion: at a $4 CPM, the mean cost inflicted on
+a legitimate advertiser is cents, and even the worst case is dollars.
+"""
+
+from repro.core.reports import ethics_cost
+
+
+def test_ethics_cost(benchmark, bench_run, save_artifact):
+    cost = benchmark(ethics_cost, bench_run.crawl, bench_run.discovery, 4.0)
+
+    save_artifact(
+        "ethics_cost",
+        "\n".join(
+            [
+                f"legitimate advertiser domains clicked: {cost.legit_domains}",
+                f"worst-case clicks on one domain: {cost.worst_case_clicks}",
+                f"worst-case cost: ${cost.worst_case_cost_usd:.2f}",
+                f"mean clicks per domain: {cost.mean_clicks_per_domain:.2f}",
+                f"mean cost per domain: ${cost.mean_cost_per_domain_usd:.4f}",
+            ]
+        ),
+    )
+
+    assert cost.legit_domains > 10
+    # Mean cost is negligible (paper: ~$0.04/domain).
+    assert cost.mean_cost_per_domain_usd < 0.5
+    # Worst case stays in single-digit dollars (paper: $4.8).
+    assert cost.worst_case_cost_usd < 10.0

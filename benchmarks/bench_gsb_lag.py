@@ -1,0 +1,34 @@
+"""§4.5 GSB lag — the blacklist trails milking by more than a week.
+
+Benchmarks the lag computation over all milked domains and verifies the
+headline number's shape: among domains GSB eventually lists, the mean
+gap between our milker discovering the domain and GSB listing it exceeds
+7 days.
+"""
+
+from repro.clock import DAY
+
+
+def test_gsb_lag(benchmark, bench_run, save_artifact):
+    report = bench_run.milking
+
+    lag = benchmark(report.mean_detection_lag_days)
+
+    listed = [d for d in report.domains if d.observed_listed_at is not None]
+    lags_days = sorted(
+        (d.observed_listed_at - d.discovered_at) / DAY for d in listed
+    )
+    lines = [
+        f"milked domains: {len(report.domains)}",
+        f"eventually listed: {len(listed)}",
+        f"mean lag: {lag:.2f} days",
+    ]
+    if lags_days:
+        lines.append(f"median lag: {lags_days[len(lags_days) // 2]:.2f} days")
+        lines.append(f"min/max lag: {lags_days[0]:.2f} / {lags_days[-1]:.2f} days")
+    save_artifact("gsb_lag", "\n".join(lines))
+
+    assert lag is not None
+    assert lag > 7.0  # "GSB is more than 7 days slower"
+    # And listings trail discovery for essentially every listed domain.
+    assert all(gap >= 0 for gap in lags_days)

@@ -1,0 +1,33 @@
+"""§4.5 milked files — polymorphic binaries vs VirusTotal.
+
+Benchmarks the VT aggregation over the milking run's downloads and
+verifies the paper's shapes: only a small minority of milked files were
+already known to VirusTotal (high polymorphism); after the three-month
+rescan the overwhelming majority are flagged malicious, a large fraction
+by 15+ engines; Trojan/Adware/PUP dominate the labels.
+"""
+
+
+def test_milked_files(benchmark, bench_run, save_artifact):
+    report = bench_run.milking
+
+    summary = benchmark(report.vt_summary)
+    labels = report.vt_label_counts()
+    save_artifact(
+        "milked_files",
+        "\n".join(
+            [f"{key}: {value}" for key, value in summary.items()]
+            + [f"label {name}: {count}" for name, count in labels.most_common()]
+        ),
+    )
+
+    files = summary["files"]
+    assert files > 50, "milking must collect a substantial file corpus"
+    # Polymorphism: few files pre-known to VT (paper: 1203/9476 ~ 12.7%).
+    assert 0.03 < summary["known_to_vt"] / files < 0.30
+    # Nearly all flagged after the rescan window (paper: >9000/9476).
+    assert summary["malicious_after_rescan"] / files > 0.85
+    # A large minority flagged by 15+ engines (paper: >4000/9476).
+    assert 0.25 < summary["flagged_by_15_plus"] / files < 0.65
+    # Label vocabulary.
+    assert set(labels) <= {"Trojan", "Adware", "PUP"}

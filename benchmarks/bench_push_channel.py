@@ -1,0 +1,44 @@
+"""§4.3 extension — tracking the push-notification channel.
+
+Once a victim clicks "Allow", the campaign's push backend keeps
+delivering links to fresh attack domains even though the original
+landing page is long dead.  This benchmark polls the subscriptions the
+crawl harvested for one simulated day and verifies the channel's
+properties: it stays alive across domain rotations, and GSB is blind to
+essentially everything it delivers (Notifications campaigns have 0%
+detection in Table 1).
+"""
+
+from repro.core.push_tracking import PushChannelTracker, collect_subscriptions
+
+
+def test_push_channel(benchmark, bench_world, bench_run, save_artifact):
+    subscriptions = collect_subscriptions(bench_run.crawl.interactions)
+    assert subscriptions, "crawl must harvest push subscriptions"
+    tracker = PushChannelTracker(
+        bench_world.internet, bench_world.gsb, bench_world.vantages_residential[0]
+    )
+
+    report = benchmark.pedantic(
+        tracker.run, args=(subscriptions,), kwargs={"duration_days": 1.0},
+        rounds=2, iterations=1,
+    )
+
+    domains = report.distinct_domains()
+    save_artifact(
+        "push_channel",
+        "\n".join(
+            [
+                f"subscriptions: {report.subscriptions}",
+                f"polls: {report.polls}",
+                f"distinct attack domains delivered: {len(domains)}",
+                f"GSB miss rate at delivery: {report.gsb_miss_rate():.1%}",
+            ]
+            + [f"  pushed -> {record.url}" for record in report.pushed[:15]]
+        ),
+    )
+
+    # The channel out-lives individual landing domains...
+    assert len(domains) >= 3
+    # ...and the blacklist never sees what it delivers.
+    assert report.gsb_miss_rate() > 0.95

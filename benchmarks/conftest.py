@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+One mid-scale world is built and fully measured once per benchmark
+session; individual benchmarks then time the analysis stages and write
+the reproduced tables/figures to ``benchmarks/results/`` so every paper
+artifact is inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core.milking import MilkingConfig
+
+#: Benchmark world: large enough for stable ratios, small enough that the
+#: whole suite finishes in a few minutes.
+BENCH_CONFIG = WorldConfig(
+    seed=7,
+    n_publishers=400,
+    n_campaigns=20,
+    crawl_window_days=2.0,
+    max_code_domains=60,
+    n_advertisers=80,
+    # Benign cluster families scaled with the campaign count so the
+    # census keeps the paper's SE-majority proportion (108 of 130).
+    n_parking_providers=4,
+    n_stock_sets=2,
+)
+
+BENCH_MILKING = MilkingConfig(duration_days=7.0, post_lookup_days=7.0)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The benchmark world (read-only after the pipeline run)."""
+    return build_world(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_world):
+    return SeacmaPipeline(bench_world, milking_config=BENCH_MILKING)
+
+
+@pytest.fixture(scope="session")
+def bench_run(bench_pipeline):
+    """One full pipeline run shared by every benchmark."""
+    return bench_pipeline.run()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Write a reproduced table/series to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def writer(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return writer

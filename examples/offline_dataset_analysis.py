@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Analyse a released SEACMA dataset offline — no live crawling.
+
+§4 of the paper: "we are releasing all browser logs and screenshots
+related to the SE attacks that we collected ... to facilitate future
+research".  This example plays both sides of that release: it produces
+a dataset (one crawl, exported to JSON) and then runs a *pure offline*
+analysis on the re-imported records — clustering, triage automation,
+attribution, backtracking — exactly what a downstream researcher with
+only the published files could do.
+
+Usage::
+
+    python examples/offline_dataset_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.analysis.export import export_crawl_dataset, import_crawl_dataset
+from repro.analysis.parking import ParkedPageDetector
+from repro.core.attribution import attribute_interactions, discover_new_networks
+from repro.core.backtrack import milkable_candidates
+from repro.core.discovery import discover_campaigns
+from repro.core.seeds import derive_invariant_patterns
+
+
+def produce_dataset(path: Path) -> None:
+    """The 'authors' side: crawl and publish the logs."""
+    world = build_world(WorldConfig.tiny(seed=5))
+    pipeline = SeacmaPipeline(world)
+    result = pipeline.run(with_milking=False)
+    path.write_text(export_crawl_dataset(result.crawl.interactions))
+    print(
+        f"[release] exported {len(result.crawl.interactions)} ad interactions "
+        f"to {path} ({path.stat().st_size // 1024} KiB)"
+    )
+    # The downstream analyst also needs the public invariant patterns.
+    patterns = derive_invariant_patterns(world.seed_networks, world.config.seed)
+    path.with_suffix(".patterns.txt").write_text(
+        "\n".join(f"{p.network_key} {p.network_name} {p.token}" for p in patterns)
+    )
+
+
+def analyse_dataset(path: Path) -> None:
+    """The 'downstream researcher' side: JSON in, findings out."""
+    records = import_crawl_dataset(path.read_text())
+    print(f"\n[offline] loaded {len(records)} interactions")
+
+    # 1. Campaign discovery from hashes alone (no images needed).
+    discovery = discover_campaigns(records)
+    census = Counter(cluster.label for cluster in discovery.campaigns)
+    print(f"[offline] clusters: {dict(census)}")
+
+    # 2. Automated parked-page triage from the released page features.
+    detector = ParkedPageDetector()
+    auto_parked = [
+        cluster.cluster_id
+        for cluster in discovery.campaigns
+        if detector.cluster_is_parked(cluster)
+    ]
+    print(f"[offline] parked clusters auto-filtered: {auto_parked}")
+
+    # 3. Attribution using the released invariant patterns.
+    from repro.core.seeds import InvariantPattern
+
+    patterns = []
+    for line in path.with_suffix(".patterns.txt").read_text().splitlines():
+        key, name, token = line.split(" ", 2)
+        patterns.append(InvariantPattern(key, name, token))
+    attribution = attribute_interactions(records, patterns)
+    top = attribution.network_counts().most_common(5)
+    print(f"[offline] top networks: {top}")
+    print(f"[offline] unknown attributions: {len(attribution.unknown)}")
+    discovered = discover_new_networks(attribution.unknown)
+    if discovered:
+        print(
+            "[offline] unknown-chain analysis points at: "
+            + ", ".join(pattern.network_name for pattern in discovered)
+        )
+
+    # 4. Milkable upstreams, straight from the released chains.
+    upstreams = Counter()
+    for cluster in discovery.seacma_campaigns:
+        for record in cluster.interactions:
+            for url in milkable_candidates(record):
+                upstreams[url.split("/")[2]] += 1
+    print(f"[offline] milkable upstream hosts: {len(upstreams)}")
+    for host, count in upstreams.most_common(5):
+        print(f"    {host} (seen in {count} chains)")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        dataset = Path(tmp) / "seacma_crawl.json"
+        produce_dataset(dataset)
+        analyse_dataset(dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Publisher-side ad snippets.
+
+When a publisher signs up with a low-tier network, it embeds a JS snippet.
+At page load the snippet (a) optionally checks ``navigator.webdriver``,
+and (b) arms one of the network's ad *tactics*:
+
+* ``TRANSPARENT_OVERLAY`` — the Figure 1 trick: an invisible full-page
+  div whose first click opens the ad tab;
+* ``DOCUMENT_CLICK`` — a click listener on the whole document;
+* ``POPUNDER`` — like DOCUMENT_CLICK but the new tab opens behind;
+* ``AUTO_POPUP`` — a ``setTimeout`` that opens the ad with no click.
+
+Each snippet's ``source_text`` is freshly obfuscated per publisher but
+embeds the network's invariant token — the reversal/attribution anchor.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.adnet.spec import AdNetworkSpec
+from repro.js.api import (
+    AddListener,
+    CheckWebdriver,
+    InjectIframe,
+    InjectOverlay,
+    OpenTab,
+    Script,
+    SetTimeout,
+    handler,
+)
+from repro.js.obfuscation import obfuscate
+
+
+class AdTactic(enum.Enum):
+    """How the network turns a page visit into an ad impression."""
+
+    TRANSPARENT_OVERLAY = "transparent-overlay"
+    DOCUMENT_CLICK = "document-click"
+    POPUNDER = "popunder"
+    AUTO_POPUP = "auto-popup"
+    BANNER_IFRAME = "banner-iframe"
+
+
+#: Relative tactic frequencies for low-tier pop networks.
+_TACTIC_WEIGHTS = {
+    AdTactic.TRANSPARENT_OVERLAY: 0.3,
+    AdTactic.DOCUMENT_CLICK: 0.3,
+    AdTactic.POPUNDER: 0.15,
+    AdTactic.AUTO_POPUP: 0.1,
+    AdTactic.BANNER_IFRAME: 0.15,
+}
+
+
+def choose_tactic(rng: random.Random) -> AdTactic:
+    """Sample a tactic with the default weights."""
+    tactics = list(_TACTIC_WEIGHTS)
+    weights = [_TACTIC_WEIGHTS[tactic] for tactic in tactics]
+    return rng.choices(tactics, weights=weights, k=1)[0]
+
+
+def build_snippet(
+    spec: AdNetworkSpec,
+    code_domain: str,
+    click_url: str,
+    tactic: AdTactic,
+    rng: random.Random,
+) -> Script:
+    """Build the snippet :class:`~repro.js.api.Script` for one publisher.
+
+    ``click_url`` is the network's per-publisher ad-click endpoint; the
+    opened tab is what redirects (server-side) to the advertised content.
+    """
+    script_url = f"http://{code_domain}/{spec.invariant_token}.js"
+    if tactic is AdTactic.TRANSPARENT_OVERLAY:
+        arm = (InjectOverlay(handler=handler(OpenTab(click_url)), once=True),)
+    elif tactic is AdTactic.DOCUMENT_CLICK:
+        arm = (AddListener("document", "click", handler(OpenTab(click_url)), once=True),)
+    elif tactic is AdTactic.POPUNDER:
+        arm = (
+            AddListener(
+                "document", "click", handler(OpenTab(click_url, popunder=True)), once=True
+            ),
+        )
+    elif tactic is AdTactic.AUTO_POPUP:
+        arm = (SetTimeout(delay_ms=1500.0, ops=handler(OpenTab(click_url))),)
+    elif tactic is AdTactic.BANNER_IFRAME:
+        # The banner document (served by the network) carries its own
+        # click handler; clicking the visible banner opens the ad.
+        banner_url = click_url.replace("/go?", "/banner?")
+        arm = (InjectIframe(src=banner_url, width=300, height=250),)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown tactic {tactic}")
+
+    if spec.checks_webdriver:
+        ops = (CheckWebdriver(if_clean=arm, if_automated=()),)
+    else:
+        ops = arm
+    source = obfuscate(spec.invariant_token, code_domain, rng)
+    return Script(ops=ops, url=script_url, source_text=source)

@@ -1,0 +1,226 @@
+"""Dataset export/import.
+
+§4: "we are releasing all browser logs and screenshots related to the SE
+attacks that we collected."  These helpers serialize crawl datasets and
+milking reports to JSON — and the campaign screenshot gallery to PNG
+files — so a run's artifacts can be published, diffed, or re-analysed
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.attacks.categories import AttackCategory
+from repro.core.crawler import AdInteraction, ChainNode, PageFeatures
+from repro.core.discovery import DiscoveryResult
+from repro.core.milking import MilkedDomain, MilkedFile, MilkingReport
+from repro.dom.page import VisualSpec
+from repro.imaging.image import render_visual
+from repro.imaging.png import write_png
+
+
+# ------------------------------------------------------------- crawl data
+
+
+def interaction_to_dict(record: AdInteraction) -> dict[str, Any]:
+    """One ad interaction as a JSON-compatible dict."""
+    return {
+        "publisher_domain": record.publisher_domain,
+        "publisher_url": record.publisher_url,
+        "ua_name": record.ua_name,
+        "vantage_name": record.vantage_name,
+        "landing_url": record.landing_url,
+        "landing_host": record.landing_host,
+        "landing_e2ld": record.landing_e2ld,
+        "screenshot_hash": f"{record.screenshot_hash:032x}",
+        "timestamp": record.timestamp,
+        "chain": [
+            {"url": node.url, "cause": node.cause, "source_url": node.source_url}
+            for node in record.chain
+        ],
+        "publisher_scripts": list(record.publisher_scripts),
+        "load_failed": record.load_failed,
+        "notification_prompt": record.notification_prompt,
+        "popunder": record.popunder,
+        "page_features": {
+            "n_scripts": record.page_features.n_scripts,
+            "n_images": record.page_features.n_images,
+            "n_anchors": record.page_features.n_anchors,
+            "n_offsite_anchors": record.page_features.n_offsite_anchors,
+            "title": record.page_features.title,
+        },
+        "labels": dict(record.labels),
+    }
+
+
+def interaction_from_dict(data: dict[str, Any]) -> AdInteraction:
+    """Inverse of :func:`interaction_to_dict`."""
+    features = data.get("page_features", {})
+    return AdInteraction(
+        publisher_domain=data["publisher_domain"],
+        publisher_url=data["publisher_url"],
+        ua_name=data["ua_name"],
+        vantage_name=data["vantage_name"],
+        landing_url=data["landing_url"],
+        landing_host=data["landing_host"],
+        landing_e2ld=data["landing_e2ld"],
+        screenshot_hash=int(data["screenshot_hash"], 16),
+        timestamp=data["timestamp"],
+        chain=tuple(
+            ChainNode(url=node["url"], cause=node["cause"], source_url=node.get("source_url"))
+            for node in data["chain"]
+        ),
+        publisher_scripts=tuple(data["publisher_scripts"]),
+        load_failed=data["load_failed"],
+        notification_prompt=data["notification_prompt"],
+        popunder=data["popunder"],
+        page_features=PageFeatures(
+            n_scripts=features.get("n_scripts", 0),
+            n_images=features.get("n_images", 0),
+            n_anchors=features.get("n_anchors", 0),
+            n_offsite_anchors=features.get("n_offsite_anchors", 0),
+            title=features.get("title", ""),
+        ),
+        labels=dict(data.get("labels", {})),
+    )
+
+
+def export_crawl_dataset(interactions: list[AdInteraction]) -> str:
+    """Serialize a list of ad interactions to a JSON document."""
+    return json.dumps(
+        {"format": "seacma-crawl/1", "interactions": [interaction_to_dict(r) for r in interactions]},
+        indent=1,
+    )
+
+
+def import_crawl_dataset(document: str) -> list[AdInteraction]:
+    """Parse a document produced by :func:`export_crawl_dataset`."""
+    data = json.loads(document)
+    if data.get("format") != "seacma-crawl/1":
+        raise ValueError(f"unknown dataset format: {data.get('format')!r}")
+    return [interaction_from_dict(item) for item in data["interactions"]]
+
+
+# ---------------------------------------------------------- milking data
+
+
+def _domain_to_dict(record: MilkedDomain) -> dict[str, Any]:
+    return {
+        "domain": record.domain,
+        "cluster_id": record.cluster_id,
+        "category": record.category.value if record.category else None,
+        "discovered_at": record.discovered_at,
+        "listed_at_discovery": record.listed_at_discovery,
+        "observed_listed_at": record.observed_listed_at,
+        "listed_at_final": record.listed_at_final,
+    }
+
+
+def _file_to_dict(record: MilkedFile) -> dict[str, Any]:
+    rescan = record.rescan_report
+    return {
+        "sha256": record.sha256,
+        "filename": record.filename,
+        "cluster_id": record.cluster_id,
+        "category": record.category.value if record.category else None,
+        "downloaded_at": record.downloaded_at,
+        "known_to_vt": record.known_to_vt,
+        "final_detections": rescan.detections if rescan else None,
+        "labels": list(rescan.labels) if rescan else [],
+    }
+
+
+def export_milking_report(report: MilkingReport) -> str:
+    """Serialize a milking report (domains, files, feeds) to JSON."""
+    return json.dumps(
+        {
+            "format": "seacma-milking/1",
+            "started_at": report.started_at,
+            "finished_at": report.finished_at,
+            "sessions": report.sessions,
+            "sources": report.sources,
+            "domains": [_domain_to_dict(record) for record in report.domains],
+            "files": [_file_to_dict(record) for record in report.files],
+            "phones": sorted(report.phones),
+            "gateways": sorted(report.gateways),
+        },
+        indent=1,
+    )
+
+
+def export_screenshot_gallery(
+    internet,
+    vantage,
+    discovery: DiscoveryResult,
+    out_dir: str | Path,
+    ua_name: str = "chrome66-macos",
+) -> list[Path]:
+    """Write one representative PNG screenshot per kept cluster.
+
+    For each cluster the exporter re-visits a member landing URL (or,
+    for SE campaigns whose throwaway domains have died, the upstream
+    milkable URL) and renders the live page — the same acquisition path
+    the measurement system used, so nothing is drawn from ground truth.
+    """
+    from repro.browser.devtools import DevToolsClient
+    from repro.browser.useragent import profile_by_name
+    from repro.core.backtrack import milkable_candidates
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    profile = profile_by_name(ua_name)
+    for cluster in discovery.campaigns:
+        client = DevToolsClient(internet, profile, vantage, stealth=True)
+        tab = None
+        candidates = [record.landing_url for record in cluster.interactions[:3]]
+        for record in cluster.interactions[:3]:
+            candidates.extend(milkable_candidates(record))
+        for url in candidates:
+            tab = client.navigate(url)
+            if tab.loaded:
+                break
+        if tab is None or not tab.loaded:
+            continue
+        shot = client.screenshot(tab)
+        label = cluster.label.replace("/", "-")
+        path = out_dir / f"cluster{cluster.cluster_id:03d}_{label}.png"
+        write_png(shot.image, path)
+        written.append(path)
+    return written
+
+
+def export_template_gallery(
+    template_keys: list[str], out_dir: str | Path
+) -> list[Path]:
+    """Render visual templates directly to PNGs (debugging/docs aid)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for key in template_keys:
+        image = render_visual(VisualSpec(template_key=key))
+        safe = key.replace("/", "_")
+        written.append(write_png(image, out_dir / f"{safe}.png"))
+    return written
+
+
+def import_milking_domains(document: str) -> list[MilkedDomain]:
+    """Parse just the domain records from an exported milking report."""
+    data = json.loads(document)
+    if data.get("format") != "seacma-milking/1":
+        raise ValueError(f"unknown report format: {data.get('format')!r}")
+    return [
+        MilkedDomain(
+            domain=item["domain"],
+            cluster_id=item["cluster_id"],
+            category=AttackCategory(item["category"]) if item["category"] else None,
+            discovered_at=item["discovered_at"],
+            listed_at_discovery=item["listed_at_discovery"],
+            observed_listed_at=item["observed_listed_at"],
+            listed_at_final=item["listed_at_final"],
+        )
+        for item in data["domains"]
+    ]

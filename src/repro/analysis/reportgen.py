@@ -1,0 +1,116 @@
+"""One-shot measurement report generation.
+
+Bundles every reproduced artifact of a pipeline run — the four tables,
+the cluster census, attribution/milking headline numbers, defense-feed
+statistics and churn summaries — into a single markdown document, the
+shape a downstream user would hand to a security team.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.feeds import build_domain_feed, build_gateway_feed, build_phone_feed, feed_vs_gsb
+from repro.analysis.stats import churn_summary
+from repro.core import reports
+from repro.core.pipeline import PipelineResult
+from repro.ecosystem.world import World
+
+
+def _md_table(rows: list, title: str) -> str:
+    if not rows:
+        return f"### {title}\n\n(empty)\n"
+    fields = list(rows[0].__dataclass_fields__)
+    header = " | ".join(name.replace("_", " ") for name in fields)
+    rule = " | ".join("---" for _ in fields)
+    lines = [f"### {title}", "", f"| {header} |", f"| {rule} |"]
+    for row in rows:
+        cells = []
+        for name in fields:
+            value = getattr(row, name)
+            cells.append(f"{value:.2f}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(world: World, result: PipelineResult) -> str:
+    """Render a complete markdown measurement report for one run."""
+    if result.crawl is None or result.discovery is None or result.attribution is None:
+        raise ValueError("the pipeline result is incomplete; run the crawl stages first")
+    now = world.clock.now()
+    crawl = result.crawl
+    discovery = result.discovery
+    parts: list[str] = []
+    parts.append("# SEACMA measurement report\n")
+    parts.append(
+        f"Crawled **{crawl.publishers_visited}** publishers "
+        f"({crawl.sessions} sessions over {crawl.duration / 86400:.1f} virtual days), "
+        f"triggering **{len(crawl.interactions)}** ads on "
+        f"**{len(crawl.publishers_with_ads)}** sites.\n"
+    )
+    census = discovery.census()
+    parts.append(
+        f"Clustering kept **{len(discovery.campaigns)}** clusters: "
+        + ", ".join(f"{count} {label}" for label, count in sorted(census.items()))
+        + ".\n"
+    )
+    parts.append(_md_table(reports.table1(discovery, world.gsb, now), "Table 1 — campaigns per category"))
+    parts.append(_md_table(reports.table2(discovery, world.webpulse), "Table 2 — publisher categories"))
+    rows3 = reports.table3(result.attribution, discovery, world.networks)
+    parts.append(_md_table(rows3, "Table 3 — ad networks"))
+    from repro.analysis.uncertainty import table3_with_intervals
+
+    parts.append(
+        _md_table(
+            table3_with_intervals(rows3),
+            "Table 3 with 95% Wilson intervals on the SE rate",
+        )
+    )
+    if result.new_patterns:
+        names = ", ".join(pattern.network_name for pattern in result.new_patterns)
+        parts.append(
+            f"Unknown-ad analysis discovered **{len(result.new_patterns)}** new "
+            f"networks ({names}), expanding the crawl list by "
+            f"**{len(result.expanded_publishers)}** publishers.\n"
+        )
+    milking = result.milking
+    if milking is not None:
+        parts.append(_md_table(reports.table4(milking), "Table 4 — milking vs GSB"))
+        lag = milking.mean_detection_lag_days()
+        if lag is not None:
+            parts.append(f"GSB trails milking by **{lag:.1f} days** on average.\n")
+        summary = churn_summary(milking)
+        if summary.median_rotation_hours is not None:
+            parts.append(
+                f"Tracked campaigns rotate attack domains every "
+                f"**{summary.median_rotation_hours:.1f} hours** (median).\n"
+            )
+        vt = milking.vt_summary()
+        parts.append(
+            f"Files milked: **{vt['files']}** "
+            f"({vt['known_to_vt']} previously known to VirusTotal; "
+            f"{vt['malicious_after_rescan']} flagged malicious after rescan, "
+            f"{vt['flagged_by_15_plus']} by 15+ engines).\n"
+        )
+        feed = build_domain_feed(milking)
+        comparison = feed_vs_gsb(feed, world.gsb)
+        parts.append(
+            f"**Defense feed:** {comparison.feed_size} attack domains, "
+            f"{comparison.exclusive_fraction:.0%} never blacklisted by GSB"
+            + (
+                f", {comparison.mean_head_start_days:.1f}-day head start on the rest.\n"
+                if comparison.mean_head_start_days is not None
+                else ".\n"
+            )
+        )
+        phones = build_phone_feed(milking)
+        if len(phones):
+            parts.append(f"Scam phone numbers: {', '.join(phones.values())}.\n")
+        gateways = build_gateway_feed(milking)
+        if len(gateways):
+            parts.append(f"Survey/registration gateways collected: {len(gateways)}.\n")
+    ethics = reports.ethics_cost(crawl, discovery)
+    parts.append(
+        f"**Ethics:** mean advertiser cost ${ethics.mean_cost_per_domain_usd:.4f} "
+        f"per domain; worst case ${ethics.worst_case_cost_usd:.2f}.\n"
+    )
+    return "\n".join(parts)

@@ -1,0 +1,96 @@
+"""Longitudinal campaign trends.
+
+Contribution (4) of the paper is "a method for continuously tracking
+SEACMA campaigns over time".  These helpers slice a milking report into
+equal time windows and answer the questions continuous tracking exists
+for: is each campaign still alive (still yielding fresh domains), is its
+rotation rate stable, and is the blacklist gaining on it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.milking import MilkingReport
+
+
+@dataclass
+class WindowStats:
+    """Aggregates for one tracking window."""
+
+    index: int
+    start: float
+    end: float
+    new_domains: int = 0
+    #: Clusters that yielded at least one fresh domain in this window.
+    active_clusters: set[int] = field(default_factory=set)
+    listed_at_discovery: int = 0
+
+    @property
+    def duration_days(self) -> float:
+        return (self.end - self.start) / 86400.0
+
+    def domains_per_day(self) -> float:
+        """Fresh-domain discovery rate within the window."""
+        if self.duration_days <= 0:
+            return 0.0
+        return self.new_domains / self.duration_days
+
+
+def window_stats(report: MilkingReport, n_windows: int = 4) -> list[WindowStats]:
+    """Split the milking period into ``n_windows`` equal windows."""
+    if n_windows < 1:
+        raise ValueError("need at least one window")
+    span = report.finished_at - report.started_at
+    if span <= 0:
+        raise ValueError("report covers no time")
+    width = span / n_windows
+    windows = [
+        WindowStats(
+            index=i,
+            start=report.started_at + i * width,
+            end=report.started_at + (i + 1) * width,
+        )
+        for i in range(n_windows)
+    ]
+    for record in report.domains:
+        slot = min(
+            n_windows - 1,
+            int((record.discovered_at - report.started_at) / width),
+        )
+        window = windows[slot]
+        window.new_domains += 1
+        window.active_clusters.add(record.cluster_id)
+        if record.listed_at_discovery:
+            window.listed_at_discovery += 1
+    return windows
+
+
+def survival_curve(report: MilkingReport, n_windows: int = 4) -> list[float]:
+    """Fraction of tracked campaigns still alive in each window.
+
+    A campaign is "alive" in a window if milking harvested at least one
+    fresh attack domain from it — a dead campaign (upstream gone, or
+    operation wound down) stops yielding.
+    """
+    windows = window_stats(report, n_windows)
+    all_clusters: set[int] = set()
+    for window in windows:
+        all_clusters |= window.active_clusters
+    if not all_clusters:
+        return [0.0] * n_windows
+    return [len(window.active_clusters) / len(all_clusters) for window in windows]
+
+
+def rotation_rate_stability(report: MilkingReport, n_windows: int = 4) -> float | None:
+    """Ratio of the slowest window's discovery rate to the fastest.
+
+    1.0 means perfectly steady churn; values near 0 mean the campaigns'
+    rotation collapsed (or exploded) during tracking.  None when the
+    report is too sparse to judge.
+    """
+    rates = [window.domains_per_day() for window in window_stats(report, n_windows)]
+    positive = [rate for rate in rates if rate > 0]
+    if len(positive) < 2:
+        return None
+    return min(positive) / max(positive)

@@ -1,0 +1,15 @@
+"""SE attack modelling: categories, campaigns, pages and payloads."""
+
+from repro.attacks.categories import AttackCategory, CategoryProfile, CATEGORY_PROFILES
+from repro.attacks.payloads import Payload, PayloadFactory
+from repro.attacks.campaign import Campaign, CampaignServer
+
+__all__ = [
+    "AttackCategory",
+    "CategoryProfile",
+    "CATEGORY_PROFILES",
+    "Payload",
+    "PayloadFactory",
+    "Campaign",
+    "CampaignServer",
+]

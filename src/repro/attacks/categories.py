@@ -1,0 +1,159 @@
+"""SE attack categories and their behavioural profiles.
+
+The six categories of Table 1 with their measured characteristics:
+
+=====================  =========  ==========  =========  ======= =========
+Category               # attacks  # domains   # camps    GSB dom GSB camp
+=====================  =========  ==========  =========  ======= =========
+Fake Software          16,802     2,370       52         15.4%   73.1%
+Registration            2,909       474       36          0%      0%
+Lottery/Gift            4,297        50        9         18%     66.7%
+Chrome Notifications    3,419       102        3          0%      0%
+Scareware               1,032        71        5          0%      0%
+Technical Support         464        74        3          1.4%   33.3%
+=====================  =========  ==========  =========  ======= =========
+
+Each :class:`CategoryProfile` encodes the generative knobs that reproduce
+those shapes: the share of campaigns, per-campaign ad-serving weight
+(attack volume per campaign), domain-rotation speed (domains per campaign
+within one crawl window), platform targeting (Lottery is mobile-only,
+§4.3) and GSB detectability (two-level: is the campaign on GSB's radar at
+all, and if so what fraction of its domains eventually get blacklisted).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AttackCategory(enum.Enum):
+    """The SE attack categories of §4.3."""
+
+    FAKE_SOFTWARE = "Fake Software"
+    REGISTRATION = "Registration"
+    LOTTERY = "Lottery/Gift"
+    NOTIFICATIONS = "Chrome Notifications"
+    SCAREWARE = "Scareware"
+    TECH_SUPPORT = "Technical Support"
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Generative parameters for one attack category."""
+
+    category: AttackCategory
+    #: Fraction of all SEACMA campaigns in this category (Table 1 col 4).
+    campaign_share: float
+    #: Relative ad-serving weight per campaign — proportional to Table 1's
+    #: attacks-per-campaign ratio, normalized to Fake Software = 1.0.
+    serving_weight: float
+    #: Platforms the campaign targets (UA cloaking, §3.2/§4.3).
+    platforms: frozenset[str]
+    #: Distinct attack domains one campaign burns through per crawl window
+    #: (Table 1 domains / campaigns); sets the rotation lifetime.
+    domains_per_window: float
+    #: Probability that GSB ever notices the campaign (Table 1 last col).
+    gsb_campaign_rate: float
+    #: Given a noticed campaign, probability an individual attack domain is
+    #: eventually blacklisted (back-solved from Table 1 col 5).
+    gsb_domain_rate: float
+    #: Probability a freshly activated attack domain is ALREADY on the
+    #: blacklist (burned/reused infrastructure) — the source of the
+    #: non-zero GSB-at-discovery rates in Table 4.
+    gsb_prelisted_rate: float = 0.0
+    #: Whether interacting with the attack page downloads software.
+    delivers_payload: bool = False
+    #: Probability an interaction with the attack page yields a download.
+    download_prob: float = 0.0
+    #: Whether the page deploys tab-locking tactics (§3.2).
+    locks_page: bool = False
+    #: Whether the page requests push-notification permission (§4.3).
+    prompts_notification: bool = False
+    #: Whether the page forwards users to a survey/registration customer.
+    forwards_to_customer: bool = False
+
+
+_ALL = frozenset({"macos", "windows", "mobile"})
+_DESKTOP = frozenset({"macos", "windows"})
+
+CATEGORY_PROFILES: dict[AttackCategory, CategoryProfile] = {
+    AttackCategory.FAKE_SOFTWARE: CategoryProfile(
+        category=AttackCategory.FAKE_SOFTWARE,
+        campaign_share=52 / 108,
+        serving_weight=1.0,           # 16802/52 = 323 attacks/campaign (reference)
+        platforms=_DESKTOP,           # fake Flash/Java updates, macOS players
+        domains_per_window=45.6,      # 2370/52
+        gsb_campaign_rate=0.731,
+        gsb_domain_rate=0.21,
+        gsb_prelisted_rate=0.013,
+        delivers_payload=True,
+        download_prob=0.12,
+        locks_page=True,
+    ),
+    AttackCategory.REGISTRATION: CategoryProfile(
+        category=AttackCategory.REGISTRATION,
+        campaign_share=36 / 108,
+        serving_weight=0.25,          # 2909/36 = 81
+        platforms=_ALL,
+        domains_per_window=13.2,      # 474/36
+        gsb_campaign_rate=0.0,
+        gsb_domain_rate=0.0,
+        forwards_to_customer=True,
+    ),
+    AttackCategory.LOTTERY: CategoryProfile(
+        category=AttackCategory.LOTTERY,
+        campaign_share=9 / 108,
+        serving_weight=1.48,          # 4297/9 = 477
+        platforms=frozenset({"mobile"}),  # "specific to mobile platform"
+        domains_per_window=5.6,       # 50/9
+        gsb_campaign_rate=0.667,
+        gsb_domain_rate=0.27,
+        forwards_to_customer=True,
+    ),
+    AttackCategory.NOTIFICATIONS: CategoryProfile(
+        category=AttackCategory.NOTIFICATIONS,
+        campaign_share=3 / 108,
+        serving_weight=3.53,          # 3419/3 = 1140
+        platforms=_ALL,
+        domains_per_window=34.0,      # 102/3
+        gsb_campaign_rate=0.0,
+        gsb_domain_rate=0.0,
+        prompts_notification=True,
+    ),
+    AttackCategory.SCAREWARE: CategoryProfile(
+        category=AttackCategory.SCAREWARE,
+        campaign_share=5 / 108,
+        serving_weight=0.64,          # 1032/5 = 206
+        platforms=frozenset({"windows"}),
+        domains_per_window=14.2,      # 71/5
+        gsb_campaign_rate=0.0,
+        gsb_domain_rate=0.0,
+        delivers_payload=True,
+        download_prob=0.10,
+        locks_page=True,
+    ),
+    AttackCategory.TECH_SUPPORT: CategoryProfile(
+        category=AttackCategory.TECH_SUPPORT,
+        campaign_share=3 / 108,
+        serving_weight=0.48,          # 464/3 = 155
+        platforms=_DESKTOP,
+        domains_per_window=24.7,      # 74/3
+        gsb_campaign_rate=0.333,
+        gsb_domain_rate=0.042,
+        gsb_prelisted_rate=0.037,
+        locks_page=True,
+    ),
+}
+
+
+def category_order() -> list[AttackCategory]:
+    """Categories in the paper's Table 1 row order."""
+    return [
+        AttackCategory.FAKE_SOFTWARE,
+        AttackCategory.REGISTRATION,
+        AttackCategory.LOTTERY,
+        AttackCategory.NOTIFICATIONS,
+        AttackCategory.SCAREWARE,
+        AttackCategory.TECH_SUPPORT,
+    ]

@@ -1,0 +1,127 @@
+"""SE attack landing-page builders.
+
+One builder per category, reproducing the visual/behavioural signatures
+catalogued in §4.3 and Appendix A: fake download buttons, tab-locking
+alert loops, scam phone numbers rendered into the page, push-notification
+permission lures, and fake video players that forward to scam customers'
+registration flows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.attacks.categories import AttackCategory
+from repro.dom.nodes import div, img
+from repro.dom.page import PageContent, VisualSpec
+from repro.js.api import (
+    AddListener,
+    Alert,
+    AuthDialogLoop,
+    Navigate,
+    OnBeforeUnload,
+    RequestNotificationPermission,
+    Script,
+    TriggerDownload,
+    handler,
+)
+from repro.net.http import ReferrerPolicy
+from repro.rng import derive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.attacks.campaign import Campaign
+
+_DESKTOP_SIZE = (1366, 768)
+_MOBILE_SIZE = (411, 731)
+
+
+def build_attack_page(campaign: "Campaign", domain: str, revision: int = 0) -> PageContent:
+    """Build the landing page ``campaign`` serves on ``domain``.
+
+    The page is deterministic per (campaign, domain, revision): the same
+    domain always renders the same screenshot within one creative
+    revision, while different domains (and successive revisions) differ
+    only by the small per-variant perturbation — the structure the dhash
+    clustering keys on.
+    """
+    profile = campaign.profile
+    mobile_only = profile.platforms == frozenset({"mobile"})
+    width, height = _MOBILE_SIZE if mobile_only else _DESKTOP_SIZE
+    root = div(width=width, height=height, attrs={"id": "se-root"})
+    hero = img("hero.png", int(width * 0.8), int(height * 0.5))
+    root.append(hero)
+    visual = VisualSpec(
+        template_key=campaign.template_key,
+        variant=derive(0, "attack-variant", campaign.key, domain, revision),
+        noise_level=0.02,
+    )
+    scripts = [_behavior_script(campaign, domain)]
+    labels = {
+        "kind": "se-attack",
+        "campaign": campaign.key,
+        "category": campaign.category.value,
+    }
+    if campaign.phone_number is not None:
+        # The scam phone number is part of the page source, where the
+        # paper's logs (and our source-text collectors) can harvest it.
+        root.append(
+            div(attrs={"id": "support-banner", "data-phone": campaign.phone_number})
+        )
+        labels["phone"] = campaign.phone_number
+    return PageContent(
+        title=_title_for(campaign),
+        document=root,
+        scripts=scripts,
+        visual=visual,
+        referrer_policy=ReferrerPolicy.NO_REFERRER,
+        labels=labels,
+    )
+
+
+def _behavior_script(campaign: "Campaign", domain: str) -> Script:
+    """The inline script implementing the category's SE behaviour."""
+    profile = campaign.profile
+    category = campaign.category
+    ops: list[object] = []
+    if profile.prompts_notification:
+        endpoint = (
+            f"http://{campaign.push_domain}/feed" if campaign.push_domain else None
+        )
+        ops.append(
+            RequestNotificationPermission(
+                prompt_text="Click 'Allow' to confirm you are 18+ and continue",
+                push_endpoint=endpoint,
+            )
+        )
+    if category is AttackCategory.TECH_SUPPORT:
+        ops.append(Alert(f"** MICROSOFT WARNING ** Call {campaign.phone_number} now!", repeat=2))
+        ops.append(AuthDialogLoop(rounds=3))
+    if category is AttackCategory.SCAREWARE:
+        ops.append(Alert("Your computer is infected with (4) viruses!", repeat=1))
+    if profile.locks_page:
+        ops.append(OnBeforeUnload("Are you sure you want to leave? Your download is not complete."))
+    if profile.delivers_payload:
+        download_url = f"http://{domain}{campaign.download_path}"
+        ops.append(AddListener("document", "click", handler(TriggerDownload(download_url))))
+    if profile.forwards_to_customer:
+        # Fake video player / prize survey: the page "plays" for a moment,
+        # then demands an account — the forward to the paying customer's
+        # signup flow only happens when the user agrees (clicks).
+        target = campaign.customer_url
+        ops.append(AddListener("document", "click", handler(Navigate(target))))
+    return Script(ops=tuple(ops), url=None, source_text=f"/* {campaign.key} */")
+
+
+def _title_for(campaign: "Campaign") -> str:
+    category = campaign.category
+    if category is AttackCategory.FAKE_SOFTWARE:
+        return "Update Required — Flash Player"
+    if category is AttackCategory.SCAREWARE:
+        return "WARNING: System Infected"
+    if category is AttackCategory.TECH_SUPPORT:
+        return f"Microsoft Support — Call {campaign.phone_number}"
+    if category is AttackCategory.LOTTERY:
+        return "Congratulations! You won a $1000 gift card"
+    if category is AttackCategory.NOTIFICATIONS:
+        return "Confirm you are not a robot"
+    return "Watch Full Movie HD Free"

@@ -1,0 +1,74 @@
+"""Unwanted-software payloads.
+
+§4.5: interacting with Fake Software / Scareware pages downloads Windows
+PE and macOS DMG executables that are *highly polymorphic* — of 9,476
+milked files only 1,203 were already known to VirusTotal.  We model a
+payload as a synthetic file descriptor: a fresh content hash per build
+(server-side repacking), a filename themed to the campaign, and a malware
+family used by the VirusTotal simulator to label detections.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.rng import rng_for
+
+_FAMILIES = ("Adware.Bundlore", "PUP.InstallCore", "Trojan.FakeUpdate", "Adware.Pirrit")
+_PE_NAMES = ("FlashPlayerUpdate.exe", "JavaUpdater.exe", "PCCleanerPro.exe", "setup.exe")
+_DMG_NAMES = ("MediaPlayerX.dmg", "FlashUpdate.dmg", "MacCleaner.dmg")
+
+
+@dataclass(frozen=True)
+class Payload:
+    """A downloadable file: what the milking pipeline hands to VirusTotal."""
+
+    filename: str
+    sha256: str
+    kind: str  # "pe" or "dmg"
+    family: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if len(self.sha256) != 64:
+            raise ValueError("sha256 must be 64 hex chars")
+
+
+class PayloadFactory:
+    """Builds the (polymorphic) payloads one campaign distributes."""
+
+    def __init__(self, seed: int, campaign_key: str) -> None:
+        self._campaign_key = campaign_key
+        rng = rng_for(seed, "payload", campaign_key)
+        self._family = rng.choice(_FAMILIES)
+        self._pe_name = rng.choice(_PE_NAMES)
+        self._dmg_name = rng.choice(_DMG_NAMES)
+        self._base_size = rng.randint(800_000, 9_000_000)
+        self._counter = itertools.count()
+        #: One in ~8 builds reuses the previous hash (imperfect repacking),
+        #: matching the small overlap of already-known VT hashes.
+        self._repack_skip = rng.randint(6, 10)
+        self._last_hash: str | None = None
+
+    def build(self, platform: str) -> Payload:
+        """Produce the next payload build for a victim on ``platform``."""
+        count = next(self._counter)
+        kind = "dmg" if platform == "macos" else "pe"
+        filename = self._dmg_name if kind == "dmg" else self._pe_name
+        if self._last_hash is not None and count % self._repack_skip == 0:
+            sha256 = self._last_hash
+        else:
+            digest = hashlib.sha256(
+                f"{self._campaign_key}/{count}".encode("ascii")
+            ).hexdigest()
+            sha256 = digest
+        self._last_hash = sha256
+        return Payload(
+            filename=filename,
+            sha256=sha256,
+            kind=kind,
+            family=self._family,
+            size_bytes=self._base_size + (count % 97) * 1024,
+        )

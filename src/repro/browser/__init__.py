@@ -1,0 +1,38 @@
+"""Instrumented headless browser (simulated Chromium + JSgraph port)."""
+
+from repro.browser.useragent import UserAgentProfile, PROFILES, profile_by_name
+from repro.browser.logging import (
+    BeaconEntry,
+    BrowserLog,
+    DialogEntry,
+    DnsFailureEntry,
+    DownloadEntry,
+    NavigationEntry,
+    NotificationPromptEntry,
+    ScriptFetchEntry,
+    TabOpenEntry,
+)
+from repro.browser.screenshot import Screenshot
+from repro.browser.browser import Browser, ClickOutcome, Tab
+from repro.browser.devtools import DevToolsClient, SeleniumLikeDriver
+
+__all__ = [
+    "UserAgentProfile",
+    "PROFILES",
+    "profile_by_name",
+    "BrowserLog",
+    "NavigationEntry",
+    "TabOpenEntry",
+    "ScriptFetchEntry",
+    "DialogEntry",
+    "DownloadEntry",
+    "NotificationPromptEntry",
+    "BeaconEntry",
+    "DnsFailureEntry",
+    "Screenshot",
+    "Browser",
+    "Tab",
+    "ClickOutcome",
+    "DevToolsClient",
+    "SeleniumLikeDriver",
+]

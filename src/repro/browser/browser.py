@@ -1,0 +1,638 @@
+"""The instrumented headless browser.
+
+This is the simulation counterpart of the paper's custom Chromium build:
+it loads pages through the simulated internet, executes their scripts with
+full JS-API logging, follows every redirect flavour (HTTP 30x, meta
+refresh, ``location`` assignments, ``history.pushState``), opens popups,
+bypasses page-locking dialogs, and captures screenshots.
+
+Two instrumentation switches reproduce the paper's engineering story:
+
+* ``stealth`` — with the custom DevTools client, ``navigator.webdriver``
+  is hidden from anti-bot ad code; a Selenium-style driver would leave it
+  visible and get served benign content (§3.2).
+* ``bypass_locking`` — the source-level patch that dismisses JS modal
+  dialogs, auth loops and ``onbeforeunload`` nags so the crawler can
+  navigate away from "locked" scam pages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.browser.logging import (
+    BeaconEntry,
+    BrowserLog,
+    DialogEntry,
+    DnsFailureEntry,
+    DownloadEntry,
+    FrameLoadEntry,
+    NavigationEntry,
+    NotificationPromptEntry,
+    ScriptFetchEntry,
+    TabOpenEntry,
+)
+from repro.browser.screenshot import Screenshot, capture
+from repro.browser.useragent import UserAgentProfile
+from repro.dom.events import EventListener, collect_click_handlers
+from repro.dom.nodes import Element, div
+from repro.dom.page import PageContent
+from repro.errors import BrowserError, NoSuchElementError, RedirectLoopError, UrlError
+from repro.js.api import Ops
+from repro.js.engine import JsEngine
+from repro.net.http import HttpRequest, RedirectKind, ReferrerPolicy
+from repro.net.ipspace import VantagePoint
+from repro.net.network import Internet
+from repro.urlkit.url import Url, parse_url
+
+MAX_NAVIGATION_DEPTH = 8
+SETTLE_BUDGET_MS = 10_000.0
+
+
+@dataclass
+class Tab:
+    """One browser tab."""
+
+    tab_id: int
+    opener_id: int | None = None
+    current_url: Url | None = None
+    page: PageContent | None = None
+    history: list[Url] = field(default_factory=list)
+    load_epoch: int = 0
+    unload_nag: str | None = None
+    locked: bool = False
+    timers: list[tuple[float, Ops, str | None]] = field(default_factory=list)
+
+    @property
+    def loaded(self) -> bool:
+        """Whether the tab currently displays a live page."""
+        return self.page is not None
+
+
+@dataclass
+class ClickOutcome:
+    """What a single click produced (the crawler's ad-trigger signal)."""
+
+    handlers_fired: int = 0
+    new_tabs: list[Tab] = field(default_factory=list)
+    navigated_away: bool = False
+    downloads: list[DownloadEntry] = field(default_factory=list)
+    dialogs: int = 0
+
+    @property
+    def triggered_ad(self) -> bool:
+        """§3.2 heuristic: a new third-party tab or a navigation away."""
+        return bool(self.new_tabs) or self.navigated_away
+
+
+class Browser:
+    """A single instrumented browser instance."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        profile: UserAgentProfile,
+        vantage: VantagePoint,
+        *,
+        stealth: bool = True,
+        bypass_locking: bool = True,
+        grant_notifications: bool = False,
+        log: BrowserLog | None = None,
+    ) -> None:
+        self.internet = internet
+        self.profile = profile
+        self.vantage = vantage
+        self.stealth = stealth
+        self.bypass_locking = bypass_locking
+        #: Whether the automation policy clicks "Allow" on notification
+        #: permission prompts (to observe the push channel, §4.3).
+        self.grant_notifications = grant_notifications
+        self.log = log if log is not None else BrowserLog()
+        self.tabs: list[Tab] = []
+        self._tab_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ API
+
+    def new_tab(self, opener: Tab | None = None) -> Tab:
+        """Open an empty tab."""
+        tab = Tab(tab_id=next(self._tab_ids), opener_id=opener.tab_id if opener else None)
+        self.tabs.append(tab)
+        return tab
+
+    def visit(self, url: str | Url, tab: Tab | None = None) -> Tab:
+        """Navigate a (possibly new) tab to ``url`` and settle the page."""
+        target = parse_url(url)
+        if tab is None:
+            tab = self.new_tab()
+        self._load(tab, target, cause="initial", source_url=None, referrer=None, depth=0)
+        return tab
+
+    def click(self, tab: Tab, element: Element) -> ClickOutcome:
+        """Dispatch a click (or tap) on ``element`` and report the effects."""
+        if not tab.loaded:
+            raise BrowserError("cannot click in a tab with no page")
+        page = tab.page
+        assert page is not None
+        # A transparent full-page overlay (Figure 1) sits on top of
+        # everything: a click aimed at any element actually hits it.
+        from repro.dom.render import full_page_overlays
+
+        overlays = full_page_overlays(page.document)
+        if overlays and element not in overlays:
+            element = overlays[0]
+        mark = self.log.mark()
+        tabs_before = {existing.tab_id for existing in self.tabs}
+        epoch_before = tab.load_epoch
+        # A click on an iframe lands inside its sub-document first (the
+        # banner ad's own handlers), then bubbles to the outer page.
+        handlers: list[EventListener] = []
+        if element.tag == "iframe" and element.sub_page is not None:
+            sub_root = element.sub_page.document
+            handlers.extend(collect_click_handlers(sub_root, sub_root))
+        handlers.extend(collect_click_handlers(element, page.document))
+        fired = 0
+        for listener in handlers:
+            if tab.load_epoch != epoch_before:
+                break  # the page we clicked on is gone
+            self._run_handler(tab, listener)
+            listener.mark_fired()
+            fired += 1
+            # One ad per user gesture: once a handler produced a popup or
+            # replaced the page, remaining handlers wait for the next click.
+            opened = any(t.tab_id not in tabs_before for t in self.tabs)
+            if opened or tab.load_epoch != epoch_before:
+                break
+        outcome = ClickOutcome(handlers_fired=fired)
+        outcome.new_tabs = [t for t in self.tabs if t.tab_id not in tabs_before]
+        outcome.navigated_away = tab.load_epoch != epoch_before
+        for entry in self.log.since(mark):
+            if isinstance(entry, DownloadEntry):
+                outcome.downloads.append(entry)
+            elif isinstance(entry, DialogEntry):
+                outcome.dialogs += 1
+        return outcome
+
+    def click_first_candidate(self, tab: Tab) -> ClickOutcome:
+        """Click the largest image/iframe on the page (crawler shortcut)."""
+        from repro.dom.render import clickable_candidates
+
+        if not tab.loaded:
+            raise BrowserError("tab has no page")
+        assert tab.page is not None
+        candidates = clickable_candidates(tab.page.document)
+        if not candidates:
+            raise NoSuchElementError("no clickable candidates on page")
+        return self.click(tab, candidates[0])
+
+    def screenshot(self, tab: Tab) -> Screenshot:
+        """Capture the tab's screenshot (dead-page visual if load failed)."""
+        url = str(tab.current_url) if tab.current_url is not None else "about:blank"
+        return capture(tab.page, url, self.internet.clock.now(), tab.tab_id)
+
+    @property
+    def webdriver_visible(self) -> bool:
+        """What anti-bot scripts see in ``navigator.webdriver``."""
+        return not self.stealth
+
+    # ---------------------------------------------------------- page loads
+
+    def _load(
+        self,
+        tab: Tab,
+        url: Url,
+        *,
+        cause: str,
+        source_url: str | None,
+        referrer: Url | None,
+        depth: int,
+    ) -> None:
+        if depth > MAX_NAVIGATION_DEPTH:
+            return  # runaway redirect via JS; give up quietly like a timeout
+        if not self._leave_current_page(tab):
+            return  # locked and not bypassing: navigation suppressed
+        request = HttpRequest(
+            url=url,
+            vantage=self.vantage,
+            user_agent=self.profile.ua_string,
+            referrer=referrer,
+        )
+        policy = tab.page.referrer_policy if tab.page is not None else ReferrerPolicy.DEFAULT
+        request = request.with_referrer(referrer, policy)
+        try:
+            result = self.internet.fetch(request)
+        except RedirectLoopError:
+            # Endless HTTP redirect chains behave like a timed-out load.
+            tab.load_epoch += 1
+            tab.history.append(url)
+            tab.current_url = url
+            tab.page = None
+            return
+        now = self.internet.clock.now()
+        # Log the navigation chain: requested URL with the original cause,
+        # every HTTP hop after it with cause http-redirect.
+        for index, hop in enumerate(result.chain):
+            self.log.append(
+                NavigationEntry(
+                    timestamp=now,
+                    tab_id=tab.tab_id,
+                    url=str(hop),
+                    cause=cause if index == 0 else "http-redirect",
+                    source_url=source_url if index == 0 else None,
+                    referrer=str(request.referrer) if index == 0 and request.referrer else None,
+                )
+            )
+        final_url = result.final_url
+        tab.load_epoch += 1
+        tab.unload_nag = None
+        tab.locked = False
+        tab.timers = []
+        tab.history.append(final_url)
+        if result.dns_failure or not result.response.ok:
+            if result.dns_failure:
+                self.log.append(DnsFailureEntry(timestamp=now, tab_id=tab.tab_id, url=str(final_url)))
+            tab.current_url = final_url
+            tab.page = None
+            return
+        if result.response.is_download:
+            self._record_download(tab, final_url, result.response.body, source_url)
+            return  # downloads don't replace the page
+        page = result.response.body
+        if not isinstance(page, PageContent):
+            tab.current_url = final_url
+            tab.page = None
+            return
+        tab.current_url = final_url
+        # Each load gets its own DOM instance; served content is shared.
+        tab.page = page.instantiate()
+        self._run_page_scripts(tab, page, depth)
+        self._load_iframes(tab, depth)
+        self._settle(tab, depth)
+
+    def _leave_current_page(self, tab: Tab) -> bool:
+        """Handle unload nags when navigating away; False blocks the move."""
+        if tab.page is None or tab.unload_nag is None:
+            return True
+        now = self.internet.clock.now()
+        self.log.append(
+            DialogEntry(
+                timestamp=now,
+                tab_id=tab.tab_id,
+                kind="beforeunload",
+                message=tab.unload_nag,
+                page_url=str(tab.current_url),
+                bypassed=self.bypass_locking,
+            )
+        )
+        return self.bypass_locking
+
+    def _run_page_scripts(self, tab: Tab, page: PageContent, depth: int) -> None:
+        epoch = tab.load_epoch
+        for script in page.scripts:
+            if tab.load_epoch != epoch:
+                break  # a script navigated; remaining scripts never run
+            if script.url:
+                self.log.append(
+                    ScriptFetchEntry(
+                        timestamp=self.internet.clock.now(),
+                        tab_id=tab.tab_id,
+                        page_url=str(tab.current_url),
+                        script_url=script.url,
+                    )
+                )
+            host = _TabHost(self, tab, depth)
+            JsEngine(host).run_script(script)
+
+    def _load_iframes(self, tab: Tab, depth: int) -> None:
+        """Fetch and attach iframe sub-documents (one nesting level).
+
+        Banner ads arrive this way: the snippet injects an ``<iframe>``
+        whose document is served by the ad network and carries its own
+        click handlers.
+        """
+        page = tab.page
+        if page is None or depth > MAX_NAVIGATION_DEPTH:
+            return
+        for frame in page.document.find_all("iframe"):
+            source = frame.attrs.get("src", "")
+            if frame.sub_page is not None or "://" not in source:
+                continue
+            try:
+                frame_url = parse_url(source)
+            except UrlError:
+                continue
+            request = HttpRequest(
+                url=frame_url,
+                vantage=self.vantage,
+                user_agent=self.profile.ua_string,
+                referrer=tab.current_url,
+            )
+            try:
+                result = self.internet.fetch(request)
+            except RedirectLoopError:
+                continue
+            self.log.append(
+                FrameLoadEntry(
+                    timestamp=self.internet.clock.now(),
+                    tab_id=tab.tab_id,
+                    page_url=str(tab.current_url),
+                    frame_url=str(result.final_url),
+                )
+            )
+            body = result.response.body
+            if not result.response.ok or not isinstance(body, PageContent):
+                continue
+            sub = body.instantiate()
+            frame.sub_page = sub
+            # Run the frame's scripts against the frame's document, with
+            # tab-level effects (popups, navigations) applying to the tab.
+            epoch = tab.load_epoch
+            for script in sub.scripts:
+                if tab.load_epoch != epoch:
+                    return
+                if script.url:
+                    self.log.append(
+                        ScriptFetchEntry(
+                            timestamp=self.internet.clock.now(),
+                            tab_id=tab.tab_id,
+                            page_url=str(result.final_url),
+                            script_url=script.url,
+                        )
+                    )
+                host = _TabHost(self, tab, depth, page=sub)
+                JsEngine(host).run_script(script)
+
+    def _settle(self, tab: Tab, depth: int) -> None:
+        """Run due timers and the page's meta refresh, as a real browser
+        would while the crawler waits out its per-page budget."""
+        epoch = tab.load_epoch
+        budget = SETTLE_BUDGET_MS
+        for delay_ms, ops, script_url in sorted(tab.timers, key=lambda item: item[0]):
+            if tab.load_epoch != epoch or delay_ms > budget:
+                break
+            host = _TabHost(self, tab, depth)
+            JsEngine(host).run(ops, script_url)
+        if tab.load_epoch != epoch:
+            return
+        page = tab.page
+        if page is not None and page.meta_refresh is not None:
+            delay_s, target = page.meta_refresh
+            if delay_s * 1000.0 <= budget:
+                try:
+                    target_url = tab.current_url.join(target) if tab.current_url else parse_url(target)
+                except UrlError:
+                    return
+                self._load(
+                    tab,
+                    target_url,
+                    cause="meta-refresh",
+                    source_url=None,
+                    referrer=tab.current_url,
+                    depth=depth + 1,
+                )
+
+    def _run_handler(self, tab: Tab, listener: EventListener) -> None:
+        host = _TabHost(self, tab, depth=0)
+        JsEngine(host).run(listener.handler, listener.source_url)
+
+    def _record_download(self, tab: Tab, url: Url, payload: object, source_url: str | None) -> None:
+        filename = getattr(payload, "filename", url.path.rsplit("/", 1)[-1] or "download.bin")
+        self.log.append(
+            DownloadEntry(
+                timestamp=self.internet.clock.now(),
+                tab_id=tab.tab_id,
+                url=str(url),
+                filename=str(filename),
+                payload=payload,
+                page_url=str(tab.current_url) if tab.current_url else "",
+                source_url=source_url,
+            )
+        )
+
+
+class _TabHost:
+    """The :class:`~repro.js.engine.JsHost` bound to one tab.
+
+    ``page`` overrides the document scripts operate on (used for iframe
+    sub-documents); tab-level effects always apply to the owning tab.
+    """
+
+    def __init__(self, browser: Browser, tab: Tab, depth: int, page: PageContent | None = None) -> None:
+        self._browser = browser
+        self._tab = tab
+        self._depth = depth
+        self._page = page
+
+    @property
+    def _document_page(self) -> PageContent | None:
+        return self._page if self._page is not None else self._tab.page
+
+    # -- engine surface -------------------------------------------------
+
+    def now(self) -> float:
+        return self._browser.internet.clock.now()
+
+    def log_api(self, api: str, args: tuple, script_url: str | None) -> None:
+        self._browser.log.js.record(
+            timestamp=self.now(),
+            api=api,
+            args=args,
+            script_url=script_url,
+            page_url=str(self._tab.current_url) if self._tab.current_url else "",
+        )
+
+    def attach_listener(
+        self, selector: str, event: str, handler: Ops, once: bool, script_url: str | None
+    ) -> None:
+        page = self._document_page
+        if page is None:
+            return
+        listener_args = dict(event_type=event, handler=handler, source_url=script_url or "", once=once)
+        for element in self._resolve(selector, page):
+            element.listeners.append(EventListener(**listener_args))
+
+    def inject_overlay(self, handler: Ops, once: bool, z_index: int, script_url: str | None) -> None:
+        page = self._document_page
+        if page is None:
+            return
+        root = page.document
+        overlay = div(
+            attrs={"id": "ad-overlay"},
+            width=root.width,
+            height=root.height,
+            z_index=z_index,
+            opacity=0.0,
+        )
+        overlay.listeners.append(
+            EventListener(event_type="click", handler=handler, source_url=script_url or "", once=once)
+        )
+        root.append(overlay)
+
+    def inject_iframe(self, src: str, width: int, height: int, script_url: str | None) -> None:
+        page = self._document_page
+        if page is None:
+            return
+        from repro.dom.nodes import iframe as iframe_node
+
+        page.document.append(iframe_node(src, width, height))
+        # The browser loads (newly injected) frames after scripts finish.
+        self._browser._load_iframes(self._tab, self._depth + 1)
+
+    def open_tab(self, url: str, popunder: bool, script_url: str | None) -> None:
+        browser = self._browser
+        try:
+            target = parse_url(url)
+        except UrlError:
+            return
+        new = browser.new_tab(opener=self._tab)
+        browser.log.append(
+            TabOpenEntry(
+                timestamp=self.now(),
+                tab_id=new.tab_id,
+                parent_tab_id=self._tab.tab_id,
+                url=url,
+                source_url=script_url,
+                popunder=popunder,
+            )
+        )
+        browser._load(
+            new,
+            target,
+            cause="window-open",
+            source_url=script_url,
+            referrer=self._tab.current_url,
+            depth=self._depth + 1,
+        )
+
+    def navigate(self, url: str, mechanism: RedirectKind, script_url: str | None) -> None:
+        tab = self._tab
+        try:
+            target = parse_url(url) if "://" in url else (tab.current_url.join(url) if tab.current_url else None)
+        except UrlError:
+            return
+        if target is None:
+            return
+        if mechanism in (RedirectKind.JS_PUSH_STATE, RedirectKind.JS_REPLACE_STATE):
+            # History rewrites change the visible URL without a load.
+            self._browser.log.append(
+                NavigationEntry(
+                    timestamp=self.now(),
+                    tab_id=tab.tab_id,
+                    url=str(target),
+                    cause=str(mechanism.value),
+                    source_url=script_url,
+                    referrer=str(tab.current_url) if tab.current_url else None,
+                )
+            )
+            tab.current_url = target
+            return
+        self._browser._load(
+            tab,
+            target,
+            cause=str(mechanism.value),
+            source_url=script_url,
+            referrer=tab.current_url,
+            depth=self._depth + 1,
+        )
+
+    def schedule_timeout(self, delay_ms: float, ops: Ops, script_url: str | None) -> None:
+        self._tab.timers.append((delay_ms, ops, script_url))
+
+    def webdriver_visible(self) -> bool:
+        return self._browser.webdriver_visible
+
+    def show_dialog(self, kind: str, message: str, repeat: int, script_url: str | None) -> None:
+        browser = self._browser
+        for _ in range(max(1, repeat)):
+            browser.log.append(
+                DialogEntry(
+                    timestamp=self.now(),
+                    tab_id=self._tab.tab_id,
+                    kind=kind,
+                    message=message,
+                    page_url=str(self._tab.current_url) if self._tab.current_url else "",
+                    bypassed=browser.bypass_locking,
+                )
+            )
+        if not browser.bypass_locking:
+            self._tab.locked = True
+
+    def register_unload_nag(self, message: str, script_url: str | None) -> None:
+        self._tab.unload_nag = message
+
+    def request_notification_permission(
+        self, prompt_text: str, push_endpoint: str | None, script_url: str | None
+    ) -> None:
+        self._browser.log.append(
+            NotificationPromptEntry(
+                timestamp=self.now(),
+                tab_id=self._tab.tab_id,
+                page_url=str(self._tab.current_url) if self._tab.current_url else "",
+                prompt_text=prompt_text,
+                push_endpoint=push_endpoint,
+                granted=self._browser.grant_notifications,
+            )
+        )
+
+    def trigger_download(self, url: str, script_url: str | None) -> None:
+        browser = self._browser
+        tab = self._tab
+        try:
+            target = parse_url(url) if "://" in url else (tab.current_url.join(url) if tab.current_url else None)
+        except UrlError:
+            return
+        if target is None:
+            return
+        request = HttpRequest(
+            url=target,
+            vantage=browser.vantage,
+            user_agent=browser.profile.ua_string,
+            referrer=tab.current_url,
+        )
+        try:
+            result = browser.internet.fetch(request)
+        except RedirectLoopError:
+            return
+        if result.response.is_download:
+            browser._record_download(tab, result.final_url, result.response.body, script_url)
+
+    def send_beacon(self, url: str, script_url: str | None) -> None:
+        browser = self._browser
+        try:
+            target = parse_url(url)
+        except UrlError:
+            return
+        request = HttpRequest(
+            url=target,
+            vantage=browser.vantage,
+            user_agent=browser.profile.ua_string,
+            referrer=self._tab.current_url,
+        )
+        try:
+            browser.internet.fetch(request)
+        except RedirectLoopError:
+            return
+        browser.log.append(
+            BeaconEntry(
+                timestamp=self.now(),
+                tab_id=self._tab.tab_id,
+                url=url,
+                page_url=str(self._tab.current_url) if self._tab.current_url else "",
+                source_url=script_url,
+            )
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _resolve(self, selector: str, page: PageContent) -> list[Element]:
+        document = page.document
+        if selector == "document":
+            return [document]
+        if selector == "img:all":
+            return document.find_all("img")
+        if selector == "iframe:all":
+            return document.find_all("iframe")
+        if selector.startswith("#"):
+            found = document.find_by_id(selector[1:])
+            return [found] if found is not None else []
+        return []

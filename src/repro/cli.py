@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``seacma`` console script) runs the pipeline
+against a simulated world and emits the paper's tables, defense feeds
+and exported datasets.
+
+Subcommands::
+
+    seacma run       --preset tiny --seed 7 --days 2 [--out DIR]
+    seacma tables    --preset tiny --seed 7 --days 2
+    seacma feeds     --preset tiny --seed 7 --days 2
+    seacma report    --preset tiny --seed 7 --days 2
+    seacma selfcheck --preset small
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.analysis.export import export_crawl_dataset, export_milking_report
+from repro.analysis.feeds import (
+    build_domain_feed,
+    build_gateway_feed,
+    build_phone_feed,
+    feed_vs_gsb,
+)
+from repro.core import reports
+from repro.core.milking import MilkingConfig
+
+_PRESETS = {
+    "tiny": WorldConfig.tiny,
+    "small": WorldConfig.small,
+    "paper": WorldConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="seacma",
+        description="SEACMA campaign discovery & tracking (IMC'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("run", "run the pipeline and optionally export datasets"),
+        ("tables", "run the pipeline and print Tables 1-4"),
+        ("feeds", "run the pipeline and print the defense feeds"),
+        ("report", "run the pipeline and print a full markdown report"),
+        ("selfcheck", "build a world and validate its structural invariants"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+        command.add_argument("--seed", type=int, default=7)
+        command.add_argument("--days", type=float, default=2.0, help="milking days")
+        if name == "run":
+            command.add_argument("--out", type=pathlib.Path, default=None)
+            command.add_argument("--no-milking", action="store_true")
+    return parser
+
+
+def _run_pipeline(args):
+    world = build_world(_PRESETS[args.preset](seed=args.seed))
+    pipeline = SeacmaPipeline(
+        world,
+        milking_config=MilkingConfig(
+            duration_days=args.days, post_lookup_days=min(args.days, 12.0)
+        ),
+    )
+    with_milking = not getattr(args, "no_milking", False)
+    result = pipeline.run(with_milking=with_milking)
+    return world, result
+
+
+def _print_tables(world, result, out=print) -> None:
+    now = world.clock.now()
+    out(reports.render_table(reports.table1(result.discovery, world.gsb, now), "TABLE 1"))
+    out("")
+    out(reports.render_table(reports.table2(result.discovery, world.webpulse), "TABLE 2"))
+    out("")
+    out(reports.render_table(reports.table3(result.attribution, result.discovery, world.networks), "TABLE 3"))
+    if result.milking is not None:
+        out("")
+        out(reports.render_table(reports.table4(result.milking), "TABLE 4"))
+
+
+def _print_feeds(world, result, out=print) -> None:
+    if result.milking is None:
+        out("no milking report; feeds unavailable")
+        return
+    domains = build_domain_feed(result.milking)
+    comparison = feed_vs_gsb(domains, world.gsb)
+    out(f"domain feed: {len(domains)} indicators")
+    out(f"  GSB never lists {comparison.only_in_feed} of them "
+        f"({100 * comparison.exclusive_fraction:.1f}% exclusive coverage)")
+    if comparison.mean_head_start_days is not None:
+        out(f"  mean head start over GSB: {comparison.mean_head_start_days:.1f} days")
+    phones = build_phone_feed(result.milking)
+    out(f"phone feed: {phones.values()}")
+    gateways = build_gateway_feed(result.milking)
+    out(f"gateway feed: {len(gateways)} URLs")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "selfcheck":
+        world = build_world(_PRESETS[args.preset](seed=args.seed))
+        issues = world.self_check()
+        if issues:
+            for issue in issues:
+                print(f"FAIL: {issue}")
+            return 1
+        print(
+            f"world ok: {len(world.publishers)} publishers, "
+            f"{len(world.campaigns)} campaigns, {len(world.networks)} networks"
+        )
+        return 0
+    world, result = _run_pipeline(args)
+    if args.command == "tables":
+        _print_tables(world, result)
+    elif args.command == "feeds":
+        _print_feeds(world, result)
+    elif args.command == "report":
+        from repro.analysis.reportgen import generate_report
+
+        print(generate_report(world, result))
+    else:  # run
+        print(
+            f"crawled {result.crawl.publishers_visited} publishers, "
+            f"{len(result.crawl.interactions)} ads, "
+            f"{len(result.discovery.seacma_campaigns)} SEACMA campaigns"
+        )
+        if result.milking is not None:
+            print(
+                f"milking: {len(result.milking.domains)} domains, "
+                f"{len(result.milking.files)} files"
+            )
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / "crawl.json").write_text(
+                export_crawl_dataset(result.crawl.interactions)
+            )
+            if result.milking is not None:
+                (args.out / "milking.json").write_text(
+                    export_milking_report(result.milking)
+                )
+            print(f"datasets written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Post-clustering campaign filter (§3.3).
+
+A cluster is kept as a *candidate SEACMA campaign* only if it spans at
+least ``theta_c`` distinct effective second-level domains — the signature
+of an SE campaign hosting identical content on many throw-away domains to
+evade URL blacklists.  Benign ad campaigns have no incentive to churn
+domains, so they fall below the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: The paper's threshold.
+DEFAULT_THETA_C = 5
+
+
+def distinct_e2lds(member_e2lds: Sequence[str]) -> int:
+    """Number of distinct e2LDs among a cluster's members."""
+    return len(set(member_e2lds))
+
+
+def filter_clusters_by_domains(
+    clusters: dict[int, list[int]],
+    e2lds: Sequence[str],
+    theta_c: int = DEFAULT_THETA_C,
+) -> dict[int, list[int]]:
+    """Keep clusters whose members span ``>= theta_c`` distinct e2LDs.
+
+    ``clusters`` maps cluster id to member indices; ``e2lds[i]`` is the
+    e2LD of point ``i``.
+    """
+    if theta_c < 1:
+        raise ValueError("theta_c must be at least 1")
+    return {
+        cluster_id: members
+        for cluster_id, members in clusters.items()
+        if distinct_e2lds([e2lds[index] for index in members]) >= theta_c
+    }

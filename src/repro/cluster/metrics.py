@@ -1,0 +1,76 @@
+"""Distance computation and neighbour indexing for dhash populations.
+
+For the tens of thousands of screenshots a crawl produces, the O(n²)
+pairwise matrix is the bottleneck.  :class:`HammingNeighborIndex` buckets
+hashes by 8-bit words: if two 128-bit hashes differ in at most ``radius``
+bits, the differing bits touch at most ``radius`` of the 16 words, so for
+``radius < 16`` at least one word is identical (pigeonhole) and probing
+the query's 16 word-buckets finds every true neighbour.  The paper's
+``eps = 0.1`` radius is 12 bits, comfortably inside the exact regime.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.imaging.dhash import DHASH_BITS
+from repro.imaging.distance import hamming
+
+_WORDS = 16
+_WORD_BITS = DHASH_BITS // _WORDS  # 8
+
+
+def pairwise_hamming_matrix(hashes: Sequence[int]) -> np.ndarray:
+    """Dense pairwise Hamming distance matrix (small populations only)."""
+    count = len(hashes)
+    matrix = np.zeros((count, count), dtype=np.int16)
+    for i in range(count):
+        for j in range(i + 1, count):
+            distance = hamming(hashes[i], hashes[j])
+            matrix[i, j] = distance
+            matrix[j, i] = distance
+    return matrix
+
+
+class HammingNeighborIndex:
+    """Sub-quadratic fixed-radius neighbour search over 128-bit hashes.
+
+    Exact for ``radius < 16`` (see module docstring); for larger radii the
+    index transparently falls back to a linear scan.
+    """
+
+    def __init__(self, hashes: Sequence[int], radius_bits: int) -> None:
+        if radius_bits < 0:
+            raise ValueError("radius must be non-negative")
+        self._hashes = list(hashes)
+        self._radius = radius_bits
+        self._exact_bucketing = radius_bits < _WORDS
+        self._buckets: list[dict[int, list[int]]] = [dict() for _ in range(_WORDS)]
+        if self._exact_bucketing:
+            for index, value in enumerate(self._hashes):
+                for word_index, word in enumerate(_words_of(value)):
+                    self._buckets[word_index].setdefault(word, []).append(index)
+
+    def neighbors_of(self, index: int) -> list[int]:
+        """Indices (including ``index``) within the radius of point ``index``."""
+        query = self._hashes[index]
+        if not self._exact_bucketing:
+            return [
+                other
+                for other, value in enumerate(self._hashes)
+                if hamming(query, value) <= self._radius
+            ]
+        candidates: set[int] = set()
+        for word_index, word in enumerate(_words_of(query)):
+            candidates.update(self._buckets[word_index].get(word, ()))
+        return sorted(
+            other for other in candidates
+            if hamming(query, self._hashes[other]) <= self._radius
+        )
+
+
+def _words_of(value: int) -> tuple[int, ...]:
+    mask = (1 << _WORD_BITS) - 1
+    return tuple((value >> (shift * _WORD_BITS)) & mask for shift in range(_WORDS))

@@ -1,0 +1,38 @@
+"""The SEACMA measurement pipeline (the paper's contribution)."""
+
+from repro.core.seeds import InvariantPattern, derive_invariant_patterns, reverse_to_publishers
+from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
+from repro.core.farm import CrawlDataset, CrawlerFarm, FarmConfig
+from repro.core.discovery import DiscoveredCampaign, DiscoveryResult, discover_campaigns
+from repro.core.backtrack import backtracking_graph, milkable_candidates
+from repro.core.milking import MilkingConfig, MilkingReport, MilkingTracker
+from repro.core.attribution import AttributionResult, attribute_interactions, discover_new_networks
+from repro.core.push_tracking import PushChannelTracker, collect_subscriptions
+from repro.core.pipeline import PipelineResult, SeacmaPipeline
+
+__all__ = [
+    "InvariantPattern",
+    "derive_invariant_patterns",
+    "reverse_to_publishers",
+    "AdInteraction",
+    "CrawlerConfig",
+    "crawl_session",
+    "CrawlDataset",
+    "CrawlerFarm",
+    "FarmConfig",
+    "DiscoveredCampaign",
+    "DiscoveryResult",
+    "discover_campaigns",
+    "backtracking_graph",
+    "milkable_candidates",
+    "MilkingConfig",
+    "MilkingReport",
+    "MilkingTracker",
+    "AttributionResult",
+    "attribute_interactions",
+    "discover_new_networks",
+    "PushChannelTracker",
+    "collect_subscriptions",
+    "PipelineResult",
+    "SeacmaPipeline",
+]

@@ -1,0 +1,114 @@
+"""Ad-loading process reconstruction (§3.4) and milkable-URL extraction.
+
+From the instrumented browser's per-ad logs we rebuild the *backtracking
+graph*: every URL involved in publishing the ad and reaching the attack
+page, with edges following the causal loading order (publisher page →
+snippet script → ad click URL → upstream TDS → attack page), exactly as
+in Figure 3.
+
+Walking backwards from the attack-page node, the first URL hosted off
+the attack page's domain is the campaign's *candidate milkable URL*
+(§3.5) — typically the long-lived upstream TDS.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.crawler import AdInteraction
+from repro.errors import AttributionError
+from repro.urlkit.url import parse_url
+from repro.errors import UrlError
+
+
+def backtracking_graph(interaction: AdInteraction) -> nx.DiGraph:
+    """Build the URL graph for one triggered ad.
+
+    Nodes are URLs (strings); node attribute ``role`` is one of
+    ``publisher``, ``script``, ``hop`` or ``attack``; edge attribute
+    ``cause`` records the loading mechanism.
+    """
+    graph = nx.DiGraph()
+    previous: str | None = None
+    if interaction.publisher_url:
+        graph.add_node(interaction.publisher_url, role="publisher")
+        previous = interaction.publisher_url
+    # The script that opened the ad tab, if its provenance was captured.
+    opener_script = None
+    for node in interaction.chain:
+        if node.source_url:
+            opener_script = node.source_url
+            break
+    if opener_script is not None:
+        graph.add_node(opener_script, role="script")
+        if previous is not None:
+            graph.add_edge(previous, opener_script, cause="script-include")
+        previous = opener_script
+    last_url: str | None = None
+    for node in interaction.chain:
+        if node.url == last_url:
+            continue  # tab-open + initial navigation log the same URL twice
+        graph.add_node(node.url, role="hop")
+        if previous is not None:
+            graph.add_edge(previous, node.url, cause=node.cause)
+        previous = node.url
+        last_url = node.url
+    if last_url is not None:
+        graph.nodes[last_url]["role"] = "attack" if not interaction.load_failed else "dead"
+    return graph
+
+
+def attack_node(graph: nx.DiGraph) -> str:
+    """The graph's final landing node (start of the backtracking walk)."""
+    for node, data in graph.nodes(data=True):
+        if data.get("role") in ("attack", "dead"):
+            return node
+    raise AttributionError("graph has no attack node")
+
+
+def milkable_candidates(interaction: AdInteraction) -> list[str]:
+    """Candidate milkable URLs for one SE ad (§3.5).
+
+    Walk the loading chain backwards from the attack page; the first URL
+    hosted on a *different* domain is the upstream candidate.  Publisher
+    and snippet-script URLs are excluded — milking must not touch the
+    publisher or the ad network (§6 ethics).
+    """
+    if not interaction.chain:
+        return []
+    attack_host = interaction.landing_host
+    script_urls = set(interaction.publisher_scripts)
+    for node in interaction.chain:
+        if node.source_url:
+            script_urls.add(node.source_url)
+    seen: list[str] = []
+    for node in reversed(interaction.chain):
+        try:
+            host = parse_url(node.url).host
+        except UrlError:
+            continue
+        if host == attack_host:
+            continue
+        if node.url in script_urls or host == _host_of(interaction.publisher_url):
+            continue
+        if _is_adnet_click(node.url):
+            continue
+        seen.append(node.url)
+    # Closest-to-the-attack candidate first (the Figure 4 TDS hop).
+    return seen[:1]
+
+
+def _host_of(url: str) -> str | None:
+    try:
+        return parse_url(url).host
+    except UrlError:
+        return None
+
+
+def _is_adnet_click(url: str) -> bool:
+    """Heuristic: ad-network click endpoints carry a publisher id."""
+    try:
+        parsed = parse_url(url)
+    except UrlError:
+        return False
+    return "pid" in parsed.params

@@ -1,0 +1,239 @@
+"""The per-site crawling session (§3.2).
+
+For one (publisher, user-agent, vantage) triple the crawler:
+
+1. opens the site in a fresh instrumented browser (stealth DevTools
+   client, dialog bypass enabled);
+2. ranks the page's images and iframes by rendered size and clicks them
+   largest-first (transparent overlays intercept clicks wherever they
+   land, which is exactly what the heuristics rely on);
+3. repeats the same click a few times to drain stacked ad networks;
+4. records, for every triggered ad, the opened third-party page's URL,
+   screenshot dhash and full navigation chain (with script provenance)
+   — the raw material for discovery, backtracking and attribution;
+5. stops at the ad quota, the interaction cap, or the session timeout,
+   then reloads and moves to the next element if the tab was stolen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.browser import Browser, Tab
+from repro.browser.devtools import DevToolsClient
+from repro.browser.logging import (
+    NotificationPromptEntry,
+    ScriptFetchEntry,
+    TabOpenEntry,
+)
+from repro.browser.useragent import UserAgentProfile
+from repro.dom.render import clickable_candidates
+from repro.imaging.dhash import dhash128
+from repro.net.ipspace import VantagePoint
+from repro.net.network import Internet
+from repro.urlkit.psl import e2ld
+
+
+@dataclass(frozen=True)
+class ChainNode:
+    """One hop of an ad-loading chain: a URL, why it appeared, and which
+    script (if any) caused it."""
+
+    url: str
+    cause: str
+    source_url: str | None = None
+
+
+@dataclass(frozen=True)
+class PageFeatures:
+    """Lightweight structural features of a landing page.
+
+    Captured by the crawler for every landing page (the real system's
+    logs contain the full DOM, so these are derivable offline); consumed
+    by automated triage helpers like the parked-domain detector
+    (:mod:`repro.analysis.parking`).
+    """
+
+    n_scripts: int = 0
+    n_images: int = 0
+    n_anchors: int = 0
+    n_offsite_anchors: int = 0
+    title: str = ""
+
+    @classmethod
+    def from_page(cls, page, host: str) -> "PageFeatures":
+        """Extract features from a loaded page."""
+        anchors = page.document.find_all("a")
+        offsite = 0
+        for node in anchors:
+            href = node.attrs.get("href", "")
+            if "://" in href and f"://{host}" not in href:
+                offsite += 1
+        return cls(
+            n_scripts=len(page.scripts),
+            n_images=len(page.document.find_all("img")),
+            n_anchors=len(anchors),
+            n_offsite_anchors=offsite,
+            title=page.title,
+        )
+
+
+@dataclass(frozen=True)
+class AdInteraction:
+    """One triggered ad: the unit record of the whole measurement."""
+
+    publisher_domain: str
+    publisher_url: str
+    ua_name: str
+    vantage_name: str
+    landing_url: str
+    landing_host: str
+    landing_e2ld: str
+    screenshot_hash: int
+    timestamp: float
+    #: Full hop sequence from the click to the landing page.
+    chain: tuple[ChainNode, ...]
+    #: Script fetches observed on the publisher page (provenance edges).
+    publisher_scripts: tuple[str, ...]
+    load_failed: bool = False
+    notification_prompt: bool = False
+    #: Push endpoint offered by the landing page's permission prompt.
+    notification_push_endpoint: str | None = None
+    popunder: bool = False
+    #: Structural features of the landing page (for automated triage).
+    page_features: PageFeatures = field(default_factory=PageFeatures)
+    #: Ground-truth annotations from the landing page — used only for
+    #: evaluating the pipeline, never by the pipeline itself.
+    labels: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass(frozen=True)
+class CrawlerConfig:
+    """Per-session knobs (the paper's "tunable" parameters)."""
+
+    max_ads: int = 3
+    max_interactions: int = 10
+    repeat_clicks: int = 3
+    session_seconds: float = 120.0
+
+
+def crawl_session(
+    internet: Internet,
+    publisher_url: str,
+    profile: UserAgentProfile,
+    vantage: VantagePoint,
+    config: CrawlerConfig | None = None,
+) -> list[AdInteraction]:
+    """Run one crawling session and return the recorded ad interactions."""
+    config = config if config is not None else CrawlerConfig()
+    client = DevToolsClient(internet, profile, vantage, stealth=True, bypass_locking=True)
+    browser = client.browser
+    interactions: list[AdInteraction] = []
+    deadline = internet.clock.now() + config.session_seconds
+
+    tab = browser.visit(publisher_url)
+    if not tab.loaded:
+        return interactions
+    publisher_domain = tab.current_url.host if tab.current_url else ""
+    candidates = clickable_candidates(tab.page.document)
+    clicks = 0
+    candidate_index = 0
+    while (
+        len(interactions) < config.max_ads
+        and clicks < config.max_interactions
+        and candidate_index < len(candidates)
+        and internet.clock.now() < deadline
+    ):
+        element = candidates[candidate_index]
+        repeats = 0
+        while repeats < config.repeat_clicks and len(interactions) < config.max_ads:
+            if not tab.loaded:
+                break
+            outcome = browser.click(tab, element)
+            clicks += 1
+            repeats += 1
+            internet.clock.advance(2.0)  # think time between clicks
+            for new_tab in outcome.new_tabs:
+                interactions.append(
+                    _record_interaction(browser, tab, new_tab, profile, vantage)
+                )
+            if outcome.navigated_away:
+                interactions.append(
+                    _record_interaction(browser, tab, tab, profile, vantage, stolen=True)
+                )
+                # Re-open the browser tab on the publisher, §3.2.  The
+                # reload gets a fresh DOM, so re-rank its elements.
+                tab = browser.visit(publisher_url)
+                if not tab.loaded:
+                    return interactions
+                candidates = clickable_candidates(tab.page.document)
+                break
+            if not outcome.triggered_ad and outcome.handlers_fired == 0:
+                break  # nothing armed on this element; move on
+        candidate_index += 1
+    return interactions
+
+
+def _record_interaction(
+    browser: Browser,
+    publisher_tab: Tab,
+    landing_tab: Tab,
+    profile: UserAgentProfile,
+    vantage: VantagePoint,
+    stolen: bool = False,
+) -> AdInteraction:
+    """Snapshot one triggered ad from the session log."""
+    log = browser.log
+    shot = browser.screenshot(landing_tab)
+    landing_url = shot.url
+    landing_host = landing_tab.current_url.host if landing_tab.current_url else ""
+    chain: list[ChainNode] = []
+    tab_open = None
+    for entry in log.entries_of(TabOpenEntry):
+        if entry.tab_id == landing_tab.tab_id:
+            tab_open = entry
+    navigations = log.navigations(landing_tab.tab_id)
+    if tab_open is not None and not (
+        navigations and navigations[0].url == tab_open.url
+    ):
+        chain.append(
+            ChainNode(url=tab_open.url, cause="window-open", source_url=tab_open.source_url)
+        )
+    for entry in navigations:
+        chain.append(ChainNode(url=entry.url, cause=entry.cause, source_url=entry.source_url))
+    scripts = tuple(
+        entry.script_url
+        for entry in log.entries_of(ScriptFetchEntry)
+        if entry.tab_id == publisher_tab.tab_id
+    )
+    notification = False
+    push_endpoint = None
+    for entry in log.entries_of(NotificationPromptEntry):
+        if entry.tab_id == landing_tab.tab_id:
+            notification = True
+            if entry.push_endpoint:
+                push_endpoint = entry.push_endpoint
+    page = landing_tab.page
+    labels = dict(page.labels) if page is not None else {}
+    features = (
+        PageFeatures.from_page(page, landing_host) if page is not None else PageFeatures()
+    )
+    return AdInteraction(
+        publisher_domain=publisher_tab.history[0].host if publisher_tab.history else "",
+        publisher_url=str(publisher_tab.history[0]) if publisher_tab.history else "",
+        ua_name=profile.name,
+        vantage_name=vantage.name,
+        landing_url=landing_url,
+        landing_host=landing_host,
+        landing_e2ld=e2ld(landing_host) if landing_host else "",
+        screenshot_hash=dhash128(shot.image),
+        timestamp=shot.timestamp,
+        chain=tuple(chain),
+        publisher_scripts=scripts,
+        load_failed=not landing_tab.loaded,
+        notification_prompt=notification,
+        notification_push_endpoint=push_endpoint,
+        popunder=bool(tab_open is not None and tab_open.popunder),
+        page_features=features,
+        labels=labels,
+    )

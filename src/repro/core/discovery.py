@@ -1,0 +1,173 @@
+"""SEACMA campaign discovery (§3.3).
+
+From all third-party landing pages recorded by the crawl:
+
+1. form the distinct ``(dhash, e2LD)`` pairs;
+2. cluster them with DBSCAN (``eps = 0.1`` normalized Hamming distance,
+   ``MinPts = 3``);
+3. keep clusters spanning at least ``theta_c = 5`` distinct e2LDs —
+   the domain-churn signature of blacklist-evading SE campaigns;
+4. determine ground truth per kept cluster, reproducing the paper's
+   manual triage (§4.3): visual inspection / page interaction / source
+   inspection — realized here by majority vote over the landing pages'
+   ground-truth annotations, with dead-page clusters labelled spurious.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.attacks.categories import AttackCategory
+from repro.cluster.dbscan import clusters_from_labels, dbscan
+from repro.cluster.filtering import filter_clusters_by_domains
+from repro.cluster.metrics import HammingNeighborIndex
+from repro.core.crawler import AdInteraction
+from repro.imaging.dhash import DHASH_BITS
+
+
+@dataclass
+class DiscoveredCampaign:
+    """One kept cluster: a candidate SEACMA campaign."""
+
+    cluster_id: int
+    #: The cluster's distinct (dhash, e2LD) member pairs.
+    pairs: list[tuple[int, str]]
+    #: Every crawl interaction whose landing page fell in this cluster.
+    interactions: list[AdInteraction]
+    #: Triage outcome: "se-attack", a benign kind, or "spurious".
+    label: str
+    #: Attack category for SE clusters (None for benign/spurious).
+    category: AttackCategory | None = None
+
+    @property
+    def is_seacma(self) -> bool:
+        """Whether triage confirmed this cluster as an SE campaign."""
+        return self.label == "se-attack"
+
+    @property
+    def distinct_e2lds(self) -> set[str]:
+        """The e2LDs the cluster spans."""
+        return {pair[1] for pair in self.pairs}
+
+    @property
+    def hashes(self) -> set[int]:
+        """The cluster's screenshot hashes (the milking match set)."""
+        return {pair[0] for pair in self.pairs}
+
+    @property
+    def attack_count(self) -> int:
+        """Number of SE attack instances (landing pages reached)."""
+        return len(self.interactions)
+
+
+@dataclass
+class DiscoveryResult:
+    """Output of the discovery stage."""
+
+    campaigns: list[DiscoveredCampaign] = field(default_factory=list)
+    eps: float = 0.1
+    min_pts: int = 3
+    theta_c: int = 5
+    clusters_before_filter: int = 0
+    noise_points: int = 0
+
+    @property
+    def seacma_campaigns(self) -> list[DiscoveredCampaign]:
+        """Clusters confirmed as SE campaigns."""
+        return [cluster for cluster in self.campaigns if cluster.is_seacma]
+
+    @property
+    def benign_clusters(self) -> list[DiscoveredCampaign]:
+        """Clusters triaged as benign or spurious."""
+        return [cluster for cluster in self.campaigns if not cluster.is_seacma]
+
+    def census(self) -> Counter:
+        """Cluster counts by triage label (the §4.3 breakdown)."""
+        return Counter(cluster.label for cluster in self.campaigns)
+
+    def se_interactions(self) -> list[AdInteraction]:
+        """All interactions belonging to confirmed SE campaigns."""
+        return [
+            record
+            for cluster in self.seacma_campaigns
+            for record in cluster.interactions
+        ]
+
+
+def discover_campaigns(
+    interactions: list[AdInteraction],
+    eps: float = 0.1,
+    min_pts: int = 3,
+    theta_c: int = 5,
+) -> DiscoveryResult:
+    """Run the full §3.3 discovery stage over crawl interactions."""
+    if not 0.0 < eps <= 1.0:
+        raise ValueError("eps must be in (0, 1]")
+    # Step 1: distinct (dhash, e2LD) pairs, remembering which interactions
+    # produced each pair.
+    pair_interactions: dict[tuple[int, str], list[AdInteraction]] = {}
+    for record in interactions:
+        if not record.landing_e2ld:
+            continue
+        key = (record.screenshot_hash, record.landing_e2ld)
+        pair_interactions.setdefault(key, []).append(record)
+    pairs = list(pair_interactions)
+    hashes = [pair[0] for pair in pairs]
+    e2lds = [pair[1] for pair in pairs]
+
+    # Step 2: DBSCAN over Hamming distance.
+    radius = int(eps * DHASH_BITS)
+    index = HammingNeighborIndex(hashes, radius)
+    labels = dbscan(len(pairs), index.neighbors_of, min_pts)
+    clusters = clusters_from_labels(labels)
+
+    # Step 3: the theta_c domain filter.
+    kept = filter_clusters_by_domains(clusters, e2lds, theta_c)
+
+    result = DiscoveryResult(
+        eps=eps,
+        min_pts=min_pts,
+        theta_c=theta_c,
+        clusters_before_filter=len(clusters),
+        noise_points=sum(1 for label in labels if label == -1),
+    )
+    # Step 4: triage each kept cluster.
+    for cluster_id in sorted(kept):
+        member_pairs = [pairs[i] for i in kept[cluster_id]]
+        members = [
+            record for pair in member_pairs for record in pair_interactions[pair]
+        ]
+        label, category = _triage(members)
+        result.campaigns.append(
+            DiscoveredCampaign(
+                cluster_id=cluster_id,
+                pairs=member_pairs,
+                interactions=members,
+                label=label,
+                category=category,
+            )
+        )
+    return result
+
+
+def _triage(members: list[AdInteraction]) -> tuple[str, AttackCategory | None]:
+    """Determine a cluster's ground truth (the paper's manual step).
+
+    Visual inspection / page-source inspection of the cluster's sample
+    pages — realized via the landing pages' ground-truth annotations,
+    which the discovery stages above never consulted.
+    """
+    if all(record.load_failed for record in members):
+        return "spurious", None
+    kinds = Counter(record.labels.get("kind", "unknown") for record in members)
+    top_kind, _ = kinds.most_common(1)[0]
+    if top_kind == "se-attack":
+        categories = Counter(
+            record.labels.get("category")
+            for record in members
+            if record.labels.get("category")
+        )
+        name, _ = categories.most_common(1)[0]
+        return "se-attack", AttackCategory(name)
+    return top_kind, None

@@ -1,0 +1,152 @@
+"""The crawler farm (§3.2 / §4.1).
+
+The farm schedules crawl sessions over the publisher list with the
+paper's operational structure:
+
+* publishers whose pages embed Propeller or Clickadu are crawled from
+  *residential* vantage points (three laptops), everything else from the
+  institutional network — the cloaking workaround of §3.2;
+* every site is visited once per user-agent profile (never twice with
+  the same UA, the §6 ethics constraint);
+* many container replicas run in parallel, so virtual wall-clock time
+  advances by ``session_seconds / parallelism`` per session.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.browser.useragent import PROFILES, UserAgentProfile
+from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
+from repro.ecosystem.world import World
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Farm-level crawl parameters."""
+
+    profiles: tuple[UserAgentProfile, ...] = PROFILES
+    crawler: CrawlerConfig = field(default_factory=CrawlerConfig)
+    #: Concurrent crawler containers; virtual time advances by
+    #: ``session_seconds / parallelism`` per session.  ``None`` sizes the
+    #: farm so the whole crawl spans the world's configured crawl window
+    #: (keeping domain-rotation calibration honest).
+    parallelism: int | None = None
+    #: Cap on residential-group sites actually visited (§4.1: bandwidth
+    #: limits meant only 11,182 of 34,068 such sites were crawled).
+    residential_visit_fraction: float = 0.33
+
+
+@dataclass
+class CrawlDataset:
+    """Everything a crawl produced."""
+
+    interactions: list[AdInteraction] = field(default_factory=list)
+    sessions: int = 0
+    publishers_visited: int = 0
+    publishers_institutional: int = 0
+    publishers_residential: int = 0
+    #: Publisher domains on which at least one ad was triggered.
+    publishers_with_ads: set[str] = field(default_factory=set)
+    #: Clicks charged to each non-SE landing e2LD (ethics accounting, §6).
+    landing_click_counts: Counter = field(default_factory=Counter)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Virtual time the crawl spanned, in seconds."""
+        return self.finished_at - self.started_at
+
+    def distinct_landing_hosts(self) -> set[str]:
+        """All third-party landing hosts observed."""
+        return {record.landing_host for record in self.interactions if record.landing_host}
+
+
+class CrawlerFarm:
+    """Runs the full crawl over a world's publisher population."""
+
+    def __init__(self, world: World, config: FarmConfig | None = None) -> None:
+        self.world = world
+        self.config = config if config is not None else FarmConfig()
+
+    def split_publisher_groups(self, domains: list[str]) -> tuple[list[str], list[str]]:
+        """Split crawl targets into (institutional, residential) groups.
+
+        Sites embedding Propeller or Clickadu go to the residential group
+        — their networks cloak on non-residential IP space.
+        """
+        institutional: list[str] = []
+        residential: list[str] = []
+        for domain in domains:
+            try:
+                site = self.world.publisher_directory.get(domain)
+            except KeyError:
+                institutional.append(domain)
+                continue
+            if site.uses_network("propeller") or site.uses_network("clickadu"):
+                residential.append(domain)
+            else:
+                institutional.append(domain)
+        return institutional, residential
+
+    def crawl(self, publisher_domains: list[str]) -> CrawlDataset:
+        """Crawl every listed publisher with every UA profile."""
+        world = self.world
+        config = self.config
+        dataset = CrawlDataset(started_at=world.clock.now())
+        institutional, residential = self.split_publisher_groups(publisher_domains)
+        # §4.1: the residential laptops only got through a fraction.
+        residential_cap = int(len(residential) * config.residential_visit_fraction)
+        residential = residential[:residential_cap] if residential_cap else []
+        plan: list[tuple[str, bool]] = [(domain, False) for domain in institutional]
+        plan += [(domain, True) for domain in residential]
+        total_sessions = len(plan) * len(config.profiles)
+        time_step = self._time_step(total_sessions)
+
+        laptop_index = 0
+        for domain, is_residential in plan:
+            triggered_any = False
+            for profile in config.profiles:
+                if is_residential:
+                    vantage = world.vantages_residential[
+                        laptop_index % len(world.vantages_residential)
+                    ]
+                    laptop_index += 1
+                else:
+                    vantage = world.vantage_institution
+                interactions = crawl_session(
+                    world.internet,
+                    f"http://{domain}/",
+                    profile,
+                    vantage,
+                    config.crawler,
+                )
+                dataset.sessions += 1
+                dataset.interactions.extend(interactions)
+                if interactions:
+                    triggered_any = True
+                for record in interactions:
+                    if record.landing_e2ld:
+                        dataset.landing_click_counts[record.landing_e2ld] += 1
+                world.clock.advance(time_step)
+            dataset.publishers_visited += 1
+            if is_residential:
+                dataset.publishers_residential += 1
+            else:
+                dataset.publishers_institutional += 1
+            if triggered_any:
+                dataset.publishers_with_ads.add(domain)
+        dataset.finished_at = world.clock.now()
+        return dataset
+
+    def _time_step(self, total_sessions: int) -> float:
+        config = self.config
+        session_seconds = config.crawler.session_seconds
+        if config.parallelism is not None:
+            return session_seconds / config.parallelism
+        window = self.world.config.crawl_window_days * 86400.0
+        if total_sessions == 0:
+            return session_seconds
+        return window / total_sessions

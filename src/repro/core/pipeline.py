@@ -1,0 +1,133 @@
+"""End-to-end SEACMA pipeline (Figure 2).
+
+``SeacmaPipeline`` wires the stages in the paper's order:
+
+①  seed ad networks → invariant patterns
+②  PublicWWW reversal → publisher site list
+③  crawler farm → ad interactions
+④⑤ screenshot clustering → SEACMA campaigns (+ benign-cluster census)
+⑥  milkable-URL extraction → milking tracker → GSB/VT tracking
+⑦  ad attribution → per-network stats, new-network discovery, seed
+    expansion
+
+Each stage is also callable on its own, so experiments (and tests) can
+run any prefix of the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.attribution import (
+    AttributionResult,
+    attribute_interactions,
+    discover_new_networks,
+    expand_publisher_list,
+)
+from repro.core.discovery import DiscoveryResult, discover_campaigns
+from repro.core.farm import CrawlDataset, CrawlerFarm, FarmConfig
+from repro.core.milking import MilkingConfig, MilkingReport, MilkingTracker
+from repro.core.seeds import (
+    InvariantPattern,
+    derive_invariant_patterns,
+    merged_publisher_list,
+    reverse_to_publishers,
+)
+from repro.ecosystem.world import World
+
+
+@dataclass
+class PipelineResult:
+    """Everything one full pipeline run produced."""
+
+    patterns: list[InvariantPattern] = field(default_factory=list)
+    publisher_domains: list[str] = field(default_factory=list)
+    crawl: CrawlDataset | None = None
+    discovery: DiscoveryResult | None = None
+    attribution: AttributionResult | None = None
+    new_patterns: list[InvariantPattern] = field(default_factory=list)
+    expanded_publishers: list[str] = field(default_factory=list)
+    milking: MilkingReport | None = None
+
+
+class SeacmaPipeline:
+    """The paper's measurement system, against a simulated world."""
+
+    def __init__(
+        self,
+        world: World,
+        farm_config: FarmConfig | None = None,
+        milking_config: MilkingConfig | None = None,
+        eps: float = 0.1,
+        min_pts: int = 3,
+        theta_c: int = 5,
+    ) -> None:
+        self.world = world
+        self.farm_config = farm_config if farm_config is not None else FarmConfig()
+        self.milking_config = (
+            milking_config if milking_config is not None else MilkingConfig()
+        )
+        self.eps = eps
+        self.min_pts = min_pts
+        self.theta_c = theta_c
+
+    # ------------------------------------------------------------- stages
+
+    def derive_patterns(self) -> list[InvariantPattern]:
+        """① Invariant-pattern extraction from seed-network snippets."""
+        return derive_invariant_patterns(self.world.seed_networks, self.world.config.seed)
+
+    def reverse_publishers(self, patterns: list[InvariantPattern]) -> list[str]:
+        """② PublicWWW reversal into a crawl list."""
+        assert self.world.publicwww is not None
+        hits = reverse_to_publishers(patterns, self.world.publicwww)
+        return merged_publisher_list(hits)
+
+    def crawl(self, publisher_domains: list[str]) -> CrawlDataset:
+        """③ Run the crawler farm."""
+        farm = CrawlerFarm(self.world, self.farm_config)
+        return farm.crawl(publisher_domains)
+
+    def discover(self, crawl: CrawlDataset) -> DiscoveryResult:
+        """④⑤ Cluster landing screenshots into candidate campaigns."""
+        return discover_campaigns(
+            crawl.interactions, eps=self.eps, min_pts=self.min_pts, theta_c=self.theta_c
+        )
+
+    def attribute(
+        self, crawl: CrawlDataset, patterns: list[InvariantPattern]
+    ) -> AttributionResult:
+        """⑦ Attribute every triggered ad to an ad network."""
+        return attribute_interactions(crawl.interactions, patterns)
+
+    def milk(self, discovery: DiscoveryResult) -> MilkingReport:
+        """⑥ Verify milkable URLs and run the milking experiment."""
+        tracker = MilkingTracker(
+            self.world.internet,
+            self.world.gsb,
+            self.world.virustotal,
+            self.world.vantages_residential[0],
+        )
+        tracker.derive_sources(discovery)
+        return tracker.run(self.milking_config)
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, with_milking: bool = True) -> PipelineResult:
+        """Run the full pipeline and collect every artifact."""
+        result = PipelineResult()
+        result.patterns = self.derive_patterns()
+        result.publisher_domains = self.reverse_publishers(result.patterns)
+        result.crawl = self.crawl(result.publisher_domains)
+        result.discovery = self.discover(result.crawl)
+        result.attribution = self.attribute(result.crawl, result.patterns)
+        result.new_patterns = discover_new_networks(result.attribution.unknown)
+        assert self.world.publicwww is not None
+        result.expanded_publishers = expand_publisher_list(
+            result.new_patterns,
+            self.world.publicwww,
+            already_known=set(result.publisher_domains),
+        )
+        if with_milking:
+            result.milking = self.milk(result.discovery)
+        return result

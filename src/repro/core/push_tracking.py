@@ -1,0 +1,161 @@
+"""Push-notification channel tracking (§4.3 extension).
+
+§4.3: "First, an SE attack is used to lure the user in allowing push
+notifications ... From then on, the user could be sent potentially
+malicious notifications even if the user never visits the SE attack
+page directly again."
+
+A granted subscription is therefore a *second long-lived upstream* —
+like the TDS, the push backend survives while landing domains churn.
+This tracker collects push endpoints from crawl interactions and polls
+them on the milking cadence, enumerating the attack domains the channel
+keeps delivering and checking them against GSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.devtools import DevToolsClient
+from repro.browser.useragent import profile_by_name
+from repro.clock import DAY, EventScheduler, MINUTE
+from repro.core.crawler import AdInteraction
+from repro.ecosystem.gsb import GoogleSafeBrowsing
+from repro.net.ipspace import VantagePoint
+from repro.net.network import Internet
+from repro.urlkit.psl import e2ld
+
+
+@dataclass(frozen=True)
+class PushSubscription:
+    """One granted (simulated) push subscription."""
+
+    endpoint: str
+    ua_name: str
+    first_seen: float
+
+
+@dataclass
+class PushedUrl:
+    """One distinct attack URL delivered over the push channel."""
+
+    url: str
+    domain: str
+    endpoint: str
+    received_at: float
+    gsb_listed_at_receipt: bool
+
+
+@dataclass
+class PushChannelReport:
+    """What the push channel delivered over the tracking window."""
+
+    subscriptions: int = 0
+    polls: int = 0
+    pushed: list[PushedUrl] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    def distinct_domains(self) -> set[str]:
+        """The attack domains delivered via notifications."""
+        return {record.domain for record in self.pushed}
+
+    def gsb_miss_rate(self) -> float:
+        """Fraction of pushed URLs not blacklisted when delivered."""
+        if not self.pushed:
+            return 0.0
+        missed = sum(1 for record in self.pushed if not record.gsb_listed_at_receipt)
+        return missed / len(self.pushed)
+
+
+def collect_subscriptions(interactions: list[AdInteraction]) -> list[PushSubscription]:
+    """Harvest push endpoints from crawl interactions.
+
+    The crawler records every permission prompt's endpoint; each distinct
+    (endpoint, UA) pair becomes one trackable subscription.
+    """
+    seen: set[tuple[str, str]] = set()
+    subscriptions: list[PushSubscription] = []
+    for record in interactions:
+        endpoint = record.notification_push_endpoint
+        if not endpoint:
+            continue
+        key = (endpoint, record.ua_name)
+        if key in seen:
+            continue
+        seen.add(key)
+        subscriptions.append(
+            PushSubscription(
+                endpoint=endpoint, ua_name=record.ua_name, first_seen=record.timestamp
+            )
+        )
+    return subscriptions
+
+
+class PushChannelTracker:
+    """Polls granted push endpoints for delivered attack URLs."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        gsb: GoogleSafeBrowsing,
+        vantage: VantagePoint,
+    ) -> None:
+        self.internet = internet
+        self.gsb = gsb
+        self.vantage = vantage
+
+    def run(
+        self,
+        subscriptions: list[PushSubscription],
+        duration_days: float = 7.0,
+        interval_minutes: float = 30.0,
+    ) -> PushChannelReport:
+        """Track every subscription for ``duration_days`` virtual days."""
+        clock = self.internet.clock
+        report = PushChannelReport(
+            subscriptions=len(subscriptions), started_at=clock.now()
+        )
+        seen_urls: set[str] = set()
+        scheduler = EventScheduler(clock)
+        deadline = clock.now() + duration_days * DAY
+
+        def poll_round(now: float) -> None:
+            for subscription in subscriptions:
+                self._poll(subscription, report, seen_urls)
+
+        scheduler.schedule_every(interval_minutes * MINUTE, poll_round, until=deadline)
+        scheduler.run_until(deadline)
+        report.finished_at = clock.now()
+        return report
+
+    def _poll(
+        self,
+        subscription: PushSubscription,
+        report: PushChannelReport,
+        seen_urls: set[str],
+    ) -> None:
+        report.polls += 1
+        client = DevToolsClient(
+            self.internet,
+            profile_by_name(subscription.ua_name),
+            self.vantage,
+            stealth=True,
+        )
+        tab = client.navigate(subscription.endpoint)
+        if tab.current_url is None:
+            return
+        url = str(tab.current_url)
+        if url == subscription.endpoint or url in seen_urls:
+            return
+        seen_urls.add(url)
+        domain = e2ld(tab.current_url.host)
+        report.pushed.append(
+            PushedUrl(
+                url=url,
+                domain=domain,
+                endpoint=subscription.endpoint,
+                received_at=self.internet.clock.now(),
+                gsb_listed_at_receipt=self.gsb.lookup(domain, self.internet.clock.now()),
+            )
+        )

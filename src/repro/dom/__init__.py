@@ -1,0 +1,26 @@
+"""Simulated DOM: element trees, events, layout and page content."""
+
+from repro.dom.nodes import Element, anchor, div, iframe, img, script_tag
+from repro.dom.events import EventListener, collect_click_handlers
+from repro.dom.render import (
+    clickable_candidates,
+    full_page_overlays,
+    viewport_area,
+)
+from repro.dom.page import PageContent, VisualSpec
+
+__all__ = [
+    "Element",
+    "div",
+    "img",
+    "iframe",
+    "anchor",
+    "script_tag",
+    "EventListener",
+    "collect_click_handlers",
+    "clickable_candidates",
+    "full_page_overlays",
+    "viewport_area",
+    "PageContent",
+    "VisualSpec",
+]

@@ -1,0 +1,141 @@
+"""DOM element trees.
+
+Only the properties the crawler's click heuristics need are modelled:
+tag names, rendered sizes, z-order, opacity, ``src``/``href`` attributes and
+attached event listeners.  Elements are mutable (scripts inject overlays and
+listeners at load time) but cheap; a page tree is a few dozen nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Element:
+    """One DOM node.
+
+    ``width``/``height`` are the *rendered* dimensions in CSS pixels — the
+    quantity the paper's crawler sorts on to find visually dominant
+    images/iframes.
+    """
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    width: int = 0
+    height: int = 0
+    z_index: int = 0
+    opacity: float = 1.0
+    listeners: list[Any] = field(default_factory=list)
+    parent: "Element | None" = field(default=None, repr=False)
+    node_id: int = field(default_factory=lambda: next(_ids))
+    #: For iframes: the loaded sub-document's PageContent (set by the
+    #: browser at load time, never by served content).
+    sub_page: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for child in self.children:
+            child.parent = self
+
+    @property
+    def area(self) -> int:
+        """Rendered area in square pixels."""
+        return self.width * self.height
+
+    @property
+    def is_transparent(self) -> bool:
+        """Whether the element is visually invisible (opacity ~ 0)."""
+        return self.opacity <= 0.01
+
+    def append(self, child: "Element") -> "Element":
+        """Attach ``child`` and return it (for chaining)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def clone(self) -> "Element":
+        """Deep-copy the subtree for a fresh page load.
+
+        Listeners are NOT copied: they belong to a specific load (scripts
+        attach them at load time), never to the served content.
+        """
+        copy = Element(
+            tag=self.tag,
+            attrs=dict(self.attrs),
+            width=self.width,
+            height=self.height,
+            z_index=self.z_index,
+            opacity=self.opacity,
+        )
+        for child in self.children:
+            copy.append(child.clone())
+        return copy
+
+    def walk(self) -> Iterator["Element"]:
+        """Yield self and all descendants, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, *tags: str) -> list["Element"]:
+        """All descendants (including self) whose tag is in ``tags``."""
+        wanted = set(tags)
+        return [node for node in self.walk() if node.tag in wanted]
+
+    def find_by_id(self, dom_id: str) -> "Element | None":
+        """First element whose ``id`` attribute equals ``dom_id``."""
+        for node in self.walk():
+            if node.attrs.get("id") == dom_id:
+                return node
+        return None
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield parent, grandparent, ... up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def source_text(self) -> str:
+        """A crude HTML-ish serialization, used by the source-code search
+        engine (PublicWWW simulation) for invariant matching."""
+        attrs = "".join(f' {key}="{value}"' for key, value in sorted(self.attrs.items()))
+        inner = "".join(child.source_text() for child in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+def div(**kwargs: Any) -> Element:
+    """Create a ``<div>``."""
+    return Element(tag="div", **kwargs)
+
+
+def img(src: str, width: int, height: int, **kwargs: Any) -> Element:
+    """Create an ``<img>`` with a rendered size."""
+    return Element(tag="img", attrs={"src": src}, width=width, height=height, **kwargs)
+
+
+def iframe(src: str, width: int, height: int, **kwargs: Any) -> Element:
+    """Create an ``<iframe>`` with a rendered size."""
+    return Element(tag="iframe", attrs={"src": src}, width=width, height=height, **kwargs)
+
+
+def anchor(href: str, width: int = 0, height: int = 0, **kwargs: Any) -> Element:
+    """Create an ``<a href=...>``."""
+    return Element(tag="a", attrs={"href": href}, width=width, height=height, **kwargs)
+
+
+def script_tag(src: str, inline_marker: str = "") -> Element:
+    """Create a ``<script src=...>``.
+
+    ``inline_marker`` lets ad snippets leave invariant artifacts in the page
+    source (variable names etc.) that PublicWWW-style search can find.
+    """
+    attrs = {"src": src}
+    if inline_marker:
+        attrs["data-inline"] = inline_marker
+    return Element(tag="script", attrs=attrs)

@@ -1,0 +1,76 @@
+"""Page content: what a virtual server returns for a document request.
+
+A :class:`PageContent` bundles the DOM tree, the scripts to run at load
+time, the page's *visual specification* (from which screenshots are
+rendered) and page-level behaviours like meta refresh.
+
+``labels`` carries ground-truth annotations (campaign id, page kind) used
+ONLY for evaluating the pipeline against the simulated world.  The
+discovery pipeline itself never reads them — it works from screenshots,
+URLs and browser logs exactly as the paper's system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dom.nodes import Element
+from repro.net.http import ReferrerPolicy
+
+
+@dataclass(frozen=True)
+class VisualSpec:
+    """How a page looks, for the screenshot renderer.
+
+    ``template_key`` selects the deterministic base image (one per campaign
+    or benign page family); ``variant`` seeds small per-page perturbations
+    (different domain text, timestamps) and ``noise_level`` controls their
+    amplitude.  Pages of one campaign share a template and differ only in
+    variant — exactly the near-duplicate structure perceptual hashing
+    exploits.
+    """
+
+    template_key: str
+    variant: int = 0
+    noise_level: float = 0.02
+
+
+@dataclass
+class PageContent:
+    """A renderable page."""
+
+    title: str
+    document: Element
+    scripts: list[Any] = field(default_factory=list)
+    visual: VisualSpec = VisualSpec(template_key="blank")
+    meta_refresh: tuple[float, str] | None = None
+    referrer_policy: ReferrerPolicy = ReferrerPolicy.DEFAULT
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    def source_text(self) -> str:
+        """Page source for code-search indexing: DOM plus script bodies."""
+        parts = [self.document.source_text()]
+        for script in self.scripts:
+            text = getattr(script, "source_text", "")
+            if text:
+                parts.append(text)
+        return "\n".join(parts)
+
+    def instantiate(self) -> "PageContent":
+        """A fresh copy for one browser load.
+
+        Servers cache one :class:`PageContent` per URL, but each load
+        must get its own DOM: scripts attach listeners and inject
+        overlays into the loaded document, and that state must never
+        leak into other loads (or other browsers).
+        """
+        return PageContent(
+            title=self.title,
+            document=self.document.clone(),
+            scripts=list(self.scripts),
+            visual=self.visual,
+            meta_refresh=self.meta_refresh,
+            referrer_policy=self.referrer_policy,
+            labels=self.labels,
+        )

@@ -1,0 +1,49 @@
+"""Layout queries over rendered pages.
+
+These implement the geometric half of the crawler heuristics from §3.2:
+"identify elements such as images and iframes, compute their rendering size
+on the page and sort them in descending order of their size".
+"""
+
+from __future__ import annotations
+
+from repro.dom.nodes import Element
+
+
+def viewport_area(document: Element) -> int:
+    """The page's viewport area (the root element's rendered size)."""
+    return document.area
+
+
+def clickable_candidates(document: Element, minimum_area: int = 100) -> list[Element]:
+    """Images and iframes sorted by descending rendered area.
+
+    Ties break on node id so the ordering is deterministic.  Tiny elements
+    (tracking pixels) are excluded.
+    """
+    candidates = [
+        node
+        for node in document.find_all("img", "iframe")
+        if node.area >= minimum_area
+    ]
+    candidates.sort(key=lambda node: (-node.area, node.node_id))
+    return candidates
+
+
+def full_page_overlays(document: Element, coverage: float = 0.9) -> list[Element]:
+    """Transparent divs covering at least ``coverage`` of the viewport.
+
+    These are the "transparent ad" overlays of Figure 1: invisible,
+    full-page, high z-order elements with click listeners.
+    """
+    page_area = max(viewport_area(document), 1)
+    overlays = []
+    for node in document.find_all("div"):
+        if node is document:
+            continue
+        if not node.is_transparent:
+            continue
+        if node.area / page_area >= coverage and node.z_index > 0:
+            overlays.append(node)
+    overlays.sort(key=lambda node: (-node.z_index, node.node_id))
+    return overlays

@@ -1,0 +1,59 @@
+"""PublicWWW — the source-code search engine used to "reverse" ad
+networks into publisher lists (§3.1) and to expand coverage with newly
+discovered networks (§4.4).
+
+The simulated engine indexes the source text of every publisher page and
+answers substring queries, returning domains with popularity ranks (the
+real service also supplied the ranks used for the top-10k/top-1k
+statistics of §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecosystem.publisher import PublisherDirectory, PublisherSite
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One result row: a publisher site whose source matches the query."""
+
+    domain: str
+    rank: int
+
+
+class PublicWWW:
+    """Substring search over publisher page sources."""
+
+    def __init__(self, directory: PublisherDirectory, seed: int) -> None:
+        self._directory = directory
+        self._seed = seed
+        self._source_cache: dict[str, str] = {}
+
+    def search(self, token: str) -> list[SearchHit]:
+        """All publisher sites whose page source contains ``token``.
+
+        Results are sorted by ascending rank (most popular first), like
+        the real service's default ordering.
+        """
+        if not token:
+            raise ValueError("empty search token")
+        hits = [
+            SearchHit(domain=site.domain, rank=site.rank)
+            for site in self._directory.sites()
+            if token in self._source_of(site)
+        ]
+        hits.sort(key=lambda hit: (hit.rank, hit.domain))
+        return hits
+
+    def rank_of(self, domain: str) -> int:
+        """The popularity rank of a publisher domain."""
+        return self._directory.get(domain).rank
+
+    def _source_of(self, site: PublisherSite) -> str:
+        source = self._source_cache.get(site.domain)
+        if source is None:
+            source = site.page_source(self._seed)
+            self._source_cache[site.domain] = source
+        return source

@@ -1,0 +1,115 @@
+"""Publisher websites.
+
+Publishers are the 93k sites of §3.1: ordinary websites (streaming,
+games, blogs, ...) that embed one or more low-tier ad-network snippets
+for revenue.  "Greedy" publishers stack several networks on the same
+page, which is why repeated clicks at the same spot yield ads from
+different networks (§3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.adnet.serving import AdNetworkServer
+from repro.adnet.snippets import AdTactic, build_snippet, choose_tactic
+from repro.dom.nodes import div, iframe, img
+from repro.dom.page import PageContent, VisualSpec
+from repro.net.http import HttpRequest, HttpResponse, html_response, not_found
+from repro.net.server import FetchContext, VirtualServer
+from repro.rng import derive, rng_for
+
+
+@dataclass
+class PublisherSite:
+    """One ad-publishing website."""
+
+    domain: str
+    rank: int
+    category: str
+    #: The networks whose snippets the page embeds, in snippet order.
+    networks: list[AdNetworkServer] = field(default_factory=list)
+    _page: PageContent | None = field(default=None, repr=False)
+
+    @property
+    def url(self) -> str:
+        """The site's front-page URL."""
+        return f"http://{self.domain}/"
+
+    def network_names(self) -> list[str]:
+        """Names of the embedded ad networks."""
+        return [server.spec.name for server in self.networks]
+
+    def uses_network(self, key: str) -> bool:
+        """Whether the site embeds the named network's snippet."""
+        return any(server.spec.key == key for server in self.networks)
+
+    def page(self, seed: int) -> PageContent:
+        """Build (once) and return the publisher's front page."""
+        if self._page is None:
+            self._page = _build_publisher_page(self, seed)
+        return self._page
+
+    def page_source(self, seed: int) -> str:
+        """The page source PublicWWW indexes."""
+        return self.page(seed).source_text()
+
+
+def _build_publisher_page(site: PublisherSite, seed: int) -> PageContent:
+    rng: random.Random = rng_for(seed, "publisher-page", site.domain)
+    root = div(width=1280, height=800, attrs={"id": "content"})
+    # Native content: a few images/iframes of varying prominence.
+    for index in range(rng.randint(2, 5)):
+        width = rng.randint(200, 900)
+        height = rng.randint(120, 500)
+        if rng.random() < 0.2:
+            root.append(iframe(f"embed{index}.html", width, height))
+        else:
+            root.append(img(f"content{index}.jpg", width, height))
+    scripts = []
+    for server in site.networks:
+        snippet_rng = rng_for(seed, "snippet", site.domain, server.spec.key)
+        code_domain = server.pick_code_domain(snippet_rng)
+        click_url = server.click_url(code_domain, publisher_id=site.domain)
+        tactic: AdTactic = choose_tactic(snippet_rng)
+        scripts.append(build_snippet(server.spec, code_domain, click_url, tactic, snippet_rng))
+    return PageContent(
+        title=site.domain,
+        document=root,
+        scripts=scripts,
+        visual=VisualSpec(
+            template_key=f"publisher/{site.category}",
+            variant=derive(0, "publisher-variant", site.domain),
+            noise_level=0.02,
+        ),
+        labels={"kind": "publisher", "category": site.category},
+    )
+
+
+class PublisherDirectory(VirtualServer):
+    """Serves every publisher site from one virtual server."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._sites: dict[str, PublisherSite] = {}
+
+    def add(self, site: PublisherSite) -> None:
+        """Register a publisher site."""
+        if site.domain in self._sites:
+            raise ValueError(f"duplicate publisher {site.domain}")
+        self._sites[site.domain] = site
+
+    def get(self, domain: str) -> PublisherSite:
+        """Look up a site by domain."""
+        return self._sites[domain]
+
+    def sites(self) -> list[PublisherSite]:
+        """All sites, in insertion order."""
+        return list(self._sites.values())
+
+    def handle(self, request: HttpRequest, context: FetchContext) -> HttpResponse:
+        site = self._sites.get(request.url.host)
+        if site is None:
+            return not_found()
+        return html_response(site.page(self._seed))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the SEACMA reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UrlError(ReproError):
+    """Raised when a URL cannot be parsed or manipulated."""
+
+
+class DnsError(ReproError):
+    """Raised when a hostname cannot be resolved on the simulated internet."""
+
+    def __init__(self, host: str, reason: str = "NXDOMAIN") -> None:
+        self.host = host
+        self.reason = reason
+        super().__init__(f"DNS failure for {host!r}: {reason}")
+
+
+class FetchError(ReproError):
+    """Raised when a simulated HTTP fetch fails below the HTTP layer."""
+
+
+class RedirectLoopError(FetchError):
+    """Raised when a redirect chain exceeds the browser's hop limit."""
+
+    def __init__(self, start_url: str, hops: int) -> None:
+        self.start_url = start_url
+        self.hops = hops
+        super().__init__(f"redirect loop starting at {start_url} ({hops} hops)")
+
+
+class BrowserError(ReproError):
+    """Raised for invalid browser-automation operations."""
+
+
+class NoSuchElementError(BrowserError):
+    """Raised when a DOM query matches no element."""
+
+
+class WorldConfigError(ReproError):
+    """Raised when a :class:`~repro.ecosystem.world.WorldConfig` is invalid."""
+
+
+class ClusteringError(ReproError):
+    """Raised for invalid clustering parameters or inputs."""
+
+
+class MilkingError(ReproError):
+    """Raised when the milking tracker is used incorrectly."""
+
+
+class AttributionError(ReproError):
+    """Raised when ad attribution is given malformed input."""

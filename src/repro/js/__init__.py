@@ -1,0 +1,41 @@
+"""Mini JavaScript substrate: ops, engine, obfuscation, instrumentation."""
+
+from repro.js.api import (
+    AddListener,
+    Alert,
+    AuthDialogLoop,
+    Beacon,
+    CheckWebdriver,
+    InjectOverlay,
+    Navigate,
+    OnBeforeUnload,
+    OpenTab,
+    RequestNotificationPermission,
+    Script,
+    SetTimeout,
+    TriggerDownload,
+)
+from repro.js.engine import JsEngine, JsHost
+from repro.js.instrumentation import InstrumentationLog, JsCallRecord
+from repro.js.obfuscation import obfuscate
+
+__all__ = [
+    "AddListener",
+    "Alert",
+    "AuthDialogLoop",
+    "Beacon",
+    "CheckWebdriver",
+    "InjectOverlay",
+    "Navigate",
+    "OnBeforeUnload",
+    "OpenTab",
+    "RequestNotificationPermission",
+    "Script",
+    "SetTimeout",
+    "TriggerDownload",
+    "JsEngine",
+    "JsHost",
+    "InstrumentationLog",
+    "JsCallRecord",
+    "obfuscate",
+]

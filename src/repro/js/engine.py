@@ -1,0 +1,139 @@
+"""The JS-op execution engine.
+
+:class:`JsEngine` walks a script's op sequence, logs every call to the
+instrumentation log, and applies side effects through a :class:`JsHost`
+(implemented by the browser's tab).  Keeping the host abstract breaks the
+import cycle between the JS substrate and the browser.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.js.api import (
+    AddListener,
+    Alert,
+    AuthDialogLoop,
+    Beacon,
+    CheckWebdriver,
+    InjectIframe,
+    InjectOverlay,
+    Navigate,
+    OnBeforeUnload,
+    OpenTab,
+    Ops,
+    RequestNotificationPermission,
+    Script,
+    SetTimeout,
+    TriggerDownload,
+    resolve_url,
+)
+from repro.net.http import RedirectKind
+
+
+class JsHost(Protocol):
+    """Browser-side surface the engine drives."""
+
+    def now(self) -> float: ...
+
+    def log_api(self, api: str, args: tuple, script_url: str | None) -> None: ...
+
+    def attach_listener(self, selector: str, event: str, handler: Ops, once: bool, script_url: str | None) -> None: ...
+
+    def inject_overlay(self, handler: Ops, once: bool, z_index: int, script_url: str | None) -> None: ...
+
+    def inject_iframe(self, src: str, width: int, height: int, script_url: str | None) -> None: ...
+
+    def open_tab(self, url: str, popunder: bool, script_url: str | None) -> None: ...
+
+    def navigate(self, url: str, mechanism: RedirectKind, script_url: str | None) -> None: ...
+
+    def schedule_timeout(self, delay_ms: float, ops: Ops, script_url: str | None) -> None: ...
+
+    def webdriver_visible(self) -> bool: ...
+
+    def show_dialog(self, kind: str, message: str, repeat: int, script_url: str | None) -> None: ...
+
+    def register_unload_nag(self, message: str, script_url: str | None) -> None: ...
+
+    def request_notification_permission(
+        self, prompt_text: str, push_endpoint: str | None, script_url: str | None
+    ) -> None: ...
+
+    def trigger_download(self, url: str, script_url: str | None) -> None: ...
+
+    def send_beacon(self, url: str, script_url: str | None) -> None: ...
+
+
+class JsEngine:
+    """Executes op sequences against a host, with full call logging."""
+
+    def __init__(self, host: JsHost) -> None:
+        self._host = host
+
+    def run_script(self, script: Script) -> None:
+        """Run a page script at load time."""
+        self.run(script.ops, script.url)
+
+    def run(self, ops: Ops, script_url: str | None) -> None:
+        """Execute ``ops`` with ``script_url`` as provenance."""
+        host = self._host
+        for op in ops:
+            if isinstance(op, AddListener):
+                host.log_api("EventTarget.addEventListener", (op.selector, op.event), script_url)
+                host.attach_listener(op.selector, op.event, op.handler, op.once, script_url)
+            elif isinstance(op, InjectOverlay):
+                host.log_api("Node.appendChild", ("div[transparent-overlay]",), script_url)
+                host.log_api("EventTarget.addEventListener", ("overlay", "click"), script_url)
+                host.inject_overlay(op.handler, op.once, op.z_index, script_url)
+            elif isinstance(op, InjectIframe):
+                src = resolve_url(op.src, host.now())
+                host.log_api("Node.appendChild", (f"iframe[{src}]",), script_url)
+                host.inject_iframe(src, op.width, op.height, script_url)
+            elif isinstance(op, OpenTab):
+                url = resolve_url(op.url, host.now())
+                host.log_api("Window.open", (url,), script_url)
+                host.open_tab(url, op.popunder, script_url)
+            elif isinstance(op, Navigate):
+                url = resolve_url(op.url, host.now())
+                host.log_api(_navigate_api(op.mechanism), (url,), script_url)
+                host.navigate(url, op.mechanism, script_url)
+            elif isinstance(op, SetTimeout):
+                host.log_api("Window.setTimeout", (op.delay_ms,), script_url)
+                host.schedule_timeout(op.delay_ms, op.ops, script_url)
+            elif isinstance(op, CheckWebdriver):
+                host.log_api("Navigator.webdriver", (), script_url)
+                branch = op.if_automated if host.webdriver_visible() else op.if_clean
+                self.run(branch, script_url)
+            elif isinstance(op, Alert):
+                host.log_api("Window.alert", (op.message,), script_url)
+                host.show_dialog("alert", op.message, op.repeat, script_url)
+            elif isinstance(op, OnBeforeUnload):
+                host.log_api("Window.onbeforeunload", (), script_url)
+                host.register_unload_nag(op.message, script_url)
+            elif isinstance(op, AuthDialogLoop):
+                host.log_api("Window.showAuthDialog", (op.rounds,), script_url)
+                host.show_dialog("auth", "authentication required", op.rounds, script_url)
+            elif isinstance(op, RequestNotificationPermission):
+                host.log_api("Notification.requestPermission", (), script_url)
+                host.request_notification_permission(
+                    op.prompt_text, op.push_endpoint, script_url
+                )
+            elif isinstance(op, TriggerDownload):
+                url = resolve_url(op.url, host.now())
+                host.log_api("HTMLAnchorElement.click", (url,), script_url)
+                host.trigger_download(url, script_url)
+            elif isinstance(op, Beacon):
+                url = resolve_url(op.url, host.now())
+                host.log_api("Navigator.sendBeacon", (url,), script_url)
+                host.send_beacon(url, script_url)
+            else:
+                raise TypeError(f"unknown JS op: {op!r}")
+
+
+def _navigate_api(mechanism: RedirectKind) -> str:
+    if mechanism is RedirectKind.JS_PUSH_STATE:
+        return "History.pushState"
+    if mechanism is RedirectKind.JS_REPLACE_STATE:
+        return "History.replaceState"
+    return "Location.assign"

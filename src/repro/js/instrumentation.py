@@ -1,0 +1,68 @@
+"""JSgraph-style instrumentation log.
+
+The paper's custom Chromium logs *every* JS API call across the Blink–JS
+bindings (unlike the original JSgraph, which covered a manually chosen
+subset).  Our engine feeds every executed op through this log, tagged with
+the provenance (script URL) and the page it ran on — the raw material for
+ad-loading-process reconstruction (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class JsCallRecord:
+    """One logged JS API call."""
+
+    timestamp: float
+    api: str
+    args: tuple
+    script_url: str | None
+    page_url: str
+
+
+class InstrumentationLog:
+    """Append-only log of JS API calls."""
+
+    def __init__(self) -> None:
+        self._records: list[JsCallRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JsCallRecord]:
+        return iter(self._records)
+
+    def record(
+        self,
+        timestamp: float,
+        api: str,
+        args: tuple,
+        script_url: str | None,
+        page_url: str,
+    ) -> None:
+        """Append one call record."""
+        self._records.append(
+            JsCallRecord(
+                timestamp=timestamp,
+                api=api,
+                args=args,
+                script_url=script_url,
+                page_url=page_url,
+            )
+        )
+
+    def calls_to(self, api: str) -> list[JsCallRecord]:
+        """All records for one API name."""
+        return [record for record in self._records if record.api == api]
+
+    def apis_used(self) -> set[str]:
+        """The distinct API names seen."""
+        return {record.api for record in self._records}
+
+    def by_script(self, script_url: str | None) -> list[JsCallRecord]:
+        """All records attributed to one script."""
+        return [record for record in self._records if record.script_url == script_url]

@@ -1,0 +1,30 @@
+"""Simulated network substrate: HTTP, DNS, IP space and routing."""
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    RedirectKind,
+    html_response,
+    not_found,
+    redirect,
+)
+from repro.net.ipspace import IpClass, VantagePoint
+from repro.net.dns import DnsRegistry
+from repro.net.server import FetchContext, FunctionServer, VirtualServer
+from repro.net.network import Internet
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "RedirectKind",
+    "html_response",
+    "not_found",
+    "redirect",
+    "IpClass",
+    "VantagePoint",
+    "DnsRegistry",
+    "FetchContext",
+    "FunctionServer",
+    "VirtualServer",
+    "Internet",
+]

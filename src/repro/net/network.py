@@ -1,0 +1,114 @@
+"""The simulated internet: request routing and HTTP-level redirects.
+
+:class:`Internet` is the single entry point through which the browser (and
+therefore the crawler farm and milking tracker) touches the world.  It
+resolves hostnames through the :class:`~repro.net.dns.DnsRegistry` and
+follows *HTTP-level* redirect chains; browser-level redirects (meta refresh,
+JS navigation) are handled by :mod:`repro.browser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import SimClock
+from repro.errors import DnsError, RedirectLoopError, UrlError
+from repro.net.dns import DnsRegistry
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.server import FetchContext, VirtualServer
+from repro.urlkit.url import Url
+
+MAX_REDIRECT_HOPS = 20
+
+
+@dataclass
+class FetchResult:
+    """The outcome of one fetch, including the followed HTTP redirect chain.
+
+    ``chain`` lists every URL visited, starting with the requested URL and
+    ending with the URL that produced ``response`` (or the URL whose host
+    failed to resolve, for DNS failures).
+    """
+
+    response: HttpResponse
+    chain: list[Url] = field(default_factory=list)
+    dns_failure: bool = False
+
+    @property
+    def final_url(self) -> Url:
+        """The last URL in the redirect chain."""
+        return self.chain[-1]
+
+
+class Internet:
+    """Routes simulated HTTP requests to virtual servers."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.dns = DnsRegistry()
+        self._fetch_count = 0
+
+    @property
+    def fetch_count(self) -> int:
+        """Total number of requests served (for load accounting)."""
+        return self._fetch_count
+
+    def register(self, host: str, server: VirtualServer) -> None:
+        """Statically register ``server`` for ``host``."""
+        self.dns.register(host, server)
+
+    def add_claimant(self, server: VirtualServer) -> None:
+        """Register a dynamic-host server (rotating attack/code domains)."""
+        self.dns.add_claimant(server)
+
+    def fetch(self, request: HttpRequest) -> FetchResult:
+        """Serve ``request``, following HTTP redirects up to the hop limit.
+
+        DNS failures are reported in-band (``dns_failure=True`` with a
+        synthetic 502 response) because the real crawler also records dead
+        attack domains rather than crashing on them.
+        """
+        context = FetchContext(clock=self.clock, internet=self)
+        chain: list[Url] = []
+        current = request
+        for _ in range(MAX_REDIRECT_HOPS):
+            chain.append(current.url)
+            self._fetch_count += 1
+            try:
+                server = self.dns.resolve(current.url.host, self.clock.now())
+            except DnsError:
+                return FetchResult(
+                    response=HttpResponse(status=502, body=None),
+                    chain=chain,
+                    dns_failure=True,
+                )
+            response = server.handle(current, context)
+            if not response.is_redirect:
+                return FetchResult(response=response, chain=chain)
+            try:
+                target = response.location
+            except UrlError:
+                # A server emitted a garbage Location header; surface it
+                # as a server error rather than crashing the crawler.
+                return FetchResult(
+                    response=HttpResponse(status=502, body=None), chain=chain
+                )
+            # HTTP 303 forces GET; 307/308 preserve the method.
+            method = current.method if response.status in (307, 308) else "GET"
+            current = HttpRequest(
+                url=target,
+                vantage=current.vantage,
+                user_agent=current.user_agent,
+                method=method,
+                referrer=current.url,
+                headers=dict(current.headers),
+            )
+        raise RedirectLoopError(str(request.url), MAX_REDIRECT_HOPS)
+
+    def host_alive(self, host: str) -> bool:
+        """Whether ``host`` currently resolves."""
+        try:
+            self.dns.resolve(host, self.clock.now())
+        except DnsError:
+            return False
+        return True

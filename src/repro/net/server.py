@@ -1,0 +1,75 @@
+"""Virtual web servers.
+
+A :class:`VirtualServer` is anything that can answer simulated HTTP
+requests: publisher sites, ad-network endpoints, campaign TDS hosts,
+attack-page hosts and benign advertisers all implement this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.http import HttpRequest, HttpResponse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clock import SimClock
+    from repro.net.network import Internet
+
+
+@dataclass
+class FetchContext:
+    """Per-request context handed to servers.
+
+    Carries the virtual clock (so servers can rotate content over time) and
+    a back-reference to the internet (so redirectors can consult other
+    services when composing chains).
+    """
+
+    clock: "SimClock"
+    internet: "Internet"
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now()
+
+
+class VirtualServer(abc.ABC):
+    """Interface for every host on the simulated internet."""
+
+    @abc.abstractmethod
+    def handle(self, request: HttpRequest, context: FetchContext) -> HttpResponse:
+        """Answer ``request``; must not raise for routine 4xx/5xx outcomes."""
+
+    def claims_host(self, host: str, now: float) -> bool:
+        """Whether this server answers for ``host`` at time ``now``.
+
+        Only servers registered as DNS claimants need to override this;
+        statically registered servers never get asked.
+        """
+        return False
+
+
+class FunctionServer(VirtualServer):
+    """Adapter turning a plain function into a :class:`VirtualServer`.
+
+    >>> server = FunctionServer(lambda request, context: not_found())
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[HttpRequest, FetchContext], HttpResponse],
+        claims: Callable[[str, float], bool] | None = None,
+    ) -> None:
+        self._handler = handler
+        self._claims = claims
+
+    def handle(self, request: HttpRequest, context: FetchContext) -> HttpResponse:
+        return self._handler(request, context)
+
+    def claims_host(self, host: str, now: float) -> bool:
+        if self._claims is None:
+            return False
+        return self._claims(host, now)

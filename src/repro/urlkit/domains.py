@@ -1,0 +1,162 @@
+"""Domain-name generators for the simulated ecosystem.
+
+Two generation styles appear in the paper's observations:
+
+* **DGA-style throwaway domains** used by SEACMA campaigns for attack pages
+  (``wduygininqbu.com``, ``live6nmld10.club``, ``99cret1040.club``), rotated
+  every few hours to evade blacklists, and
+
+* **word-salad domains** used by ad networks to host JS snippets and by
+  upstream milkable TDS hosts (``findglo210.info``, ``nsvf17p9.com``).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from repro.rng import rng_for
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+_VOWELS = "aeiouy"
+_WORDS = (
+    "find", "glo", "rel", "sta", "cret", "live", "nml", "ad", "serve",
+    "click", "pop", "track", "flow", "traf", "gate", "way", "media",
+    "cdn", "stat", "push", "feed", "link", "load", "zone", "spot",
+    "win", "best", "top", "go", "run", "fast", "hot", "max", "pro",
+)
+_TLDS_ATTACK = ("club", "info", "xyz", "online", "site", "icu", "top", "buzz")
+_TLDS_CODE = ("com", "net", "info", "biz", "org")
+
+
+class DomainGenerator:
+    """Deterministic generator of synthetic domain names.
+
+    Each generator owns a private RNG derived from ``(seed, label)`` and
+    guarantees it never emits the same domain twice.
+    """
+
+    def __init__(self, seed: int, label: str) -> None:
+        self._rng: random.Random = rng_for(seed, "domains", label)
+        self._seen: set[str] = set()
+
+    def dga(self, tld: str | None = None, min_len: int = 8, max_len: int = 14) -> str:
+        """Generate a random-consonant DGA-style domain.
+
+        >>> gen = DomainGenerator(1, "demo")
+        >>> name = gen.dga()
+        >>> name.count(".")
+        1
+        """
+        while True:
+            length = self._rng.randint(min_len, max_len)
+            letters = []
+            for index in range(length):
+                pool = _VOWELS if index % 3 == 2 and self._rng.random() < 0.7 else _CONSONANTS
+                letters.append(self._rng.choice(pool))
+            if self._rng.random() < 0.4:
+                letters.append(str(self._rng.randint(0, 99)))
+            chosen_tld = tld or self._rng.choice(_TLDS_ATTACK)
+            domain = f"{''.join(letters)}.{chosen_tld}"
+            if domain not in self._seen:
+                self._seen.add(domain)
+                return domain
+
+    def word_salad(self, tld: str | None = None, words: int = 2) -> str:
+        """Generate a pronounceable word-mashup domain (TDS / ad-code style).
+
+        A numeric suffix is always included (``findglo210``-style); besides
+        matching the paper's observed names, it keeps the name space large
+        enough that independent generators effectively never collide.
+        """
+        while True:
+            parts = [self._rng.choice(_WORDS) for _ in range(words)]
+            parts.append(str(self._rng.randint(1, 9999)))
+            chosen_tld = tld or self._rng.choice(_TLDS_CODE)
+            domain = f"{''.join(parts)}.{chosen_tld}"
+            if domain not in self._seen:
+                self._seen.add(domain)
+                return domain
+
+    def branded(self, stem: str, tld: str = "com") -> str:
+        """Generate a domain from a fixed stem (for stable benign brands)."""
+        stem = "".join(ch for ch in stem.lower() if ch in string.ascii_lowercase + string.digits + "-")
+        domain = f"{stem}.{tld}"
+        if domain in self._seen:
+            domain = f"{stem}{self._rng.randint(2, 99)}.{tld}"
+        self._seen.add(domain)
+        return domain
+
+
+class ThrowawayDomainPool:
+    """A rotating pool of short-lived attack domains for one campaign.
+
+    The paper observes SE attack domains lasting "hours to a few days" and
+    being replaced as soon as they get blacklisted.  The pool exposes the
+    *active* domain for a given virtual time; domain lifetime is sampled per
+    domain from ``[min_lifetime, max_lifetime]``.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        label: str,
+        *,
+        min_lifetime: float = 2 * 3600.0,
+        max_lifetime: float = 2 * 86400.0,
+        tld: str | None = None,
+    ) -> None:
+        if min_lifetime <= 0 or max_lifetime < min_lifetime:
+            raise ValueError("invalid lifetime bounds")
+        self._generator = DomainGenerator(seed, f"pool/{label}")
+        self._rng = rng_for(seed, "pool-lifetimes", label)
+        self._min = min_lifetime
+        self._max = max_lifetime
+        self._tld = tld
+        # Rotation history: list of (activation_time, domain); activation
+        # times strictly increase.
+        self._history: list[tuple[float, str]] = []
+        self._next_rotation = 0.0
+
+    def active_domain(self, now: float) -> str:
+        """Return the attack domain active at virtual time ``now``.
+
+        Advances the rotation schedule as needed; times must be queried in
+        non-decreasing order (the simulation clock only moves forward).
+        """
+        if self._history and now < self._history[-1][0]:
+            # Historical query: find the domain that was active then.
+            for activation, domain in reversed(self._history):
+                if activation <= now:
+                    return domain
+            return self._history[0][1]
+        while not self._history or now >= self._next_rotation:
+            activation = self._next_rotation if self._history else 0.0
+            self._history.append((activation, self._generator.dga(tld=self._tld)))
+            lifetime = self._rng.uniform(self._min, self._max)
+            self._next_rotation = activation + lifetime
+        return self._history[-1][1]
+
+    def force_rotation(self, now: float) -> str:
+        """Immediately retire the active domain (e.g. after a blacklisting)."""
+        current = self.active_domain(now)
+        self._next_rotation = now
+        rotated = self.active_domain(now + 1e-9)
+        if rotated == current:  # pragma: no cover - defensive
+            raise RuntimeError("rotation failed to produce a fresh domain")
+        return rotated
+
+    def is_active(self, domain: str, now: float) -> bool:
+        """Whether ``domain`` is the campaign's live attack domain at ``now``."""
+        return self.active_domain(now) == domain
+
+    def all_domains(self) -> list[str]:
+        """Every domain the pool has ever activated, in activation order."""
+        return [domain for _, domain in self._history]
+
+    def activation_time(self, domain: str) -> float:
+        """Return when ``domain`` became active; raises if never activated."""
+        for activation, name in self._history:
+            if name == domain:
+                return activation
+        raise KeyError(domain)

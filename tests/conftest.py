@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+The expensive artifacts (a built world, a full pipeline run) are
+session-scoped: the world is deterministic, and consumers treat the run
+results as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core.milking import MilkingConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A freshly built tiny world (never crawled); treat as read-only
+    except for clock advancement via fetches."""
+    return build_world(WorldConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def pipeline_run():
+    """One full pipeline run on a dedicated tiny world.
+
+    Returns ``(world, pipeline, result)``.  Shared across the suite —
+    do not mutate.
+    """
+    world = build_world(WorldConfig.tiny(seed=7))
+    pipeline = SeacmaPipeline(
+        world,
+        milking_config=MilkingConfig(duration_days=2.0, post_lookup_days=2.0),
+    )
+    result = pipeline.run()
+    return world, pipeline, result
+
+
+@pytest.fixture()
+def fresh_world():
+    """A function-scoped tiny world safe to mutate."""
+    return build_world(WorldConfig.tiny(seed=11))

@@ -1,0 +1,46 @@
+"""Tests for ground-truth evaluation of discovery and milking."""
+
+from repro.analysis.evaluation import evaluate_discovery, evaluate_milking
+
+
+class TestEvaluateDiscovery:
+    def test_scores_real_run(self, pipeline_run):
+        world, _, result = pipeline_run
+        evaluation = evaluate_discovery(world, result.discovery)
+        assert evaluation.true_campaigns == len(world.campaigns)
+        assert 0 < evaluation.recovered_campaigns <= evaluation.true_campaigns
+        assert 0.0 < evaluation.recall <= 1.0
+        # Simulated discovery is clean: every SE cluster is a real campaign.
+        assert evaluation.precision == 1.0
+        assert evaluation.is_pure
+
+    def test_missed_campaigns_listed(self, pipeline_run):
+        world, _, result = pipeline_run
+        evaluation = evaluate_discovery(world, result.discovery)
+        assert len(evaluation.missed_campaign_keys) == (
+            evaluation.true_campaigns - evaluation.recovered_campaigns
+        )
+        true_keys = {campaign.key for campaign in world.campaigns}
+        assert set(evaluation.missed_campaign_keys) <= true_keys
+
+    def test_empty_discovery(self, pipeline_run):
+        from repro.core.discovery import DiscoveryResult
+
+        world, _, _ = pipeline_run
+        evaluation = evaluate_discovery(world, DiscoveryResult())
+        assert evaluation.recall == 0.0
+        assert evaluation.precision == 0.0
+        assert evaluation.se_clusters == 0
+
+
+class TestEvaluateMilking:
+    def test_coverage_of_tracked_campaigns(self, pipeline_run):
+        world, _, result = pipeline_run
+        evaluation = evaluate_milking(world, result.milking)
+        assert evaluation.milked_domains == len(result.milking.domains)
+        assert evaluation.true_domains_in_window > 0
+        # 15-minute rounds catch nearly every rotation (lifetimes are
+        # hours), so coverage should be near-total.
+        assert evaluation.coverage > 0.8
+        # And milking never invents domains.
+        assert evaluation.false_domains == 0

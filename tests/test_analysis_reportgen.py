@@ -1,0 +1,57 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.reportgen import generate_report
+from repro.core.pipeline import PipelineResult
+
+
+class TestGenerateReport:
+    def test_full_report_structure(self, pipeline_run):
+        world, _, result = pipeline_run
+        report = generate_report(world, result)
+        assert report.startswith("# SEACMA measurement report")
+        for heading in (
+            "Table 1 — campaigns per category",
+            "Table 2 — publisher categories",
+            "Table 3 — ad networks",
+            "Table 4 — milking vs GSB",
+        ):
+            assert heading in report
+        assert "Defense feed:" in report
+        assert "Ethics:" in report
+        assert "Fake Software" in report
+
+    def test_markdown_tables_well_formed(self, pipeline_run):
+        world, _, result = pipeline_run
+        report = generate_report(world, result)
+        table_lines = [line for line in report.splitlines() if line.startswith("|")]
+        assert table_lines
+        # Every table row has a consistent pipe structure.
+        for line in table_lines:
+            assert line.endswith("|")
+            assert line.count("|") >= 3
+
+    def test_report_without_milking(self, pipeline_run):
+        world, _, result = pipeline_run
+        partial = PipelineResult(
+            patterns=result.patterns,
+            publisher_domains=result.publisher_domains,
+            crawl=result.crawl,
+            discovery=result.discovery,
+            attribution=result.attribution,
+        )
+        report = generate_report(world, partial)
+        assert "Table 4" not in report
+        assert "Table 1" in report
+
+    def test_incomplete_result_rejected(self, pipeline_run):
+        world, _, _ = pipeline_run
+        with pytest.raises(ValueError):
+            generate_report(world, PipelineResult())
+
+    def test_new_network_section(self, pipeline_run):
+        world, _, result = pipeline_run
+        report = generate_report(world, result)
+        if result.new_patterns:
+            assert "new" in report and "networks" in report

@@ -1,0 +1,88 @@
+"""Tests for Wilson intervals and rate comparisons."""
+
+import pytest
+
+from repro.analysis.uncertainty import (
+    rates_separable,
+    table3_with_intervals,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        interval = wilson_interval(30, 100)
+        assert interval.low < interval.point < interval.high
+        assert interval.point == pytest.approx(0.3)
+
+    def test_bounds_within_unit_interval(self):
+        for successes, trials in ((0, 10), (10, 10), (1, 2), (500, 1000)):
+            interval = wilson_interval(successes, trials)
+            assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_zero_trials(self):
+        interval = wilson_interval(0, 0)
+        assert interval.low == 0.0 and interval.high == 1.0
+
+    def test_more_trials_tighter_interval(self):
+        wide = wilson_interval(3, 10)
+        narrow = wilson_interval(300, 1000)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_higher_confidence_wider_interval(self):
+        low_conf = wilson_interval(30, 100, confidence=0.8)
+        high_conf = wilson_interval(30, 100, confidence=0.99)
+        assert (high_conf.high - high_conf.low) > (low_conf.high - low_conf.low)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_known_value(self):
+        # Classic check: 8/10 at 95% -> roughly [0.49, 0.94].
+        interval = wilson_interval(8, 10)
+        assert interval.low == pytest.approx(0.49, abs=0.02)
+        assert interval.high == pytest.approx(0.94, abs=0.02)
+
+
+class TestRateComparison:
+    def test_clearly_different_rates_separable(self):
+        assert rates_separable(600, 1000, 100, 1000)
+
+    def test_similar_rates_not_separable(self):
+        assert not rates_separable(50, 100, 55, 100)
+
+    def test_small_samples_rarely_separable(self):
+        assert not rates_separable(3, 5, 1, 5)
+
+
+class TestTable3Annotation:
+    def test_annotated_rows(self, pipeline_run):
+        from repro.core.reports import table3
+
+        world, _, result = pipeline_run
+        rows = table3(result.attribution, result.discovery, world.networks)
+        annotated = table3_with_intervals(rows)
+        assert len(annotated) == len(rows)
+        for row in annotated:
+            assert 0.0 <= row.se_pct_low <= row.se_pct_high <= 100.0
+            if row.landing_pages:
+                assert row.se_pct_low <= row.se_pct <= row.se_pct_high
+
+    def test_paper_headline_separable_at_scale(self, pipeline_run):
+        """PopCash vs HilltopAds: the Table 3 extremes must be
+        statistically distinguishable even at test scale, if volumes
+        are large enough."""
+        from repro.core.reports import table3
+
+        world, _, result = pipeline_run
+        rows = {row.network: row for row in table3(result.attribution, result.discovery, world.networks)}
+        popcash = rows.get("PopCash")
+        hilltop = rows.get("HilltopAds")
+        if popcash and hilltop and min(popcash.landing_pages, hilltop.landing_pages) >= 30:
+            assert rates_separable(
+                popcash.se_attack_pages, popcash.landing_pages,
+                hilltop.se_attack_pages, hilltop.landing_pages,
+            )

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_parser()
+        for command in ("run", "tables", "feeds", "report"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert args.preset == "tiny"
+            assert args.seed == 7
+
+    def test_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--preset", "small", "--seed", "3", "--days", "1.5"])
+        assert args.preset == "small"
+        assert args.seed == 3
+        assert args.days == 1.5
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--preset", "galactic"])
+
+
+class TestMain:
+    def test_tables_command(self, capsys):
+        code = main(["tables", "--days", "0.5", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "TABLE 1" in output
+        assert "TABLE 3" in output
+        assert "Fake Software" in output
+
+    def test_feeds_command(self, capsys):
+        code = main(["feeds", "--days", "0.5", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "domain feed:" in output
+        assert "exclusive coverage" in output
+
+    def test_run_with_export(self, tmp_path, capsys):
+        code = main(["run", "--days", "0.5", "--seed", "3", "--out", str(tmp_path)])
+        assert code == 0
+        crawl = json.loads((tmp_path / "crawl.json").read_text())
+        assert crawl["format"] == "seacma-crawl/1"
+        milking = json.loads((tmp_path / "milking.json").read_text())
+        assert milking["format"] == "seacma-milking/1"
+
+    def test_report_command(self, capsys):
+        code = main(["report", "--days", "0.5", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("# SEACMA measurement report")
+        assert "Table 3" in output
+
+    def test_run_without_milking(self, capsys):
+        code = main(["run", "--no-milking", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SEACMA campaigns" in output
+        assert "milking:" not in output

@@ -1,0 +1,89 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import pytest
+
+from repro.cluster.dbscan import DBSCAN_NOISE, clusters_from_labels, dbscan
+from repro.errors import ClusteringError
+
+
+def neighbors_within(points, radius):
+    def neighbors_of(i):
+        return [j for j in range(len(points)) if abs(points[i] - points[j]) <= radius]
+
+    return neighbors_of
+
+
+class TestDbscan:
+    def test_two_clear_clusters(self):
+        points = [0, 1, 2, 100, 101, 102]
+        labels = dbscan(6, neighbors_within(points, 3), min_pts=3)
+        assert labels == [0, 0, 0, 1, 1, 1]
+
+    def test_noise_point(self):
+        points = [0, 1, 2, 500]
+        labels = dbscan(4, neighbors_within(points, 3), min_pts=3)
+        assert labels == [0, 0, 0, DBSCAN_NOISE]
+
+    def test_min_pts_controls_density(self):
+        points = [0, 1]
+        assert dbscan(2, neighbors_within(points, 3), min_pts=3) == [DBSCAN_NOISE] * 2
+        assert dbscan(2, neighbors_within(points, 3), min_pts=2) == [0, 0]
+
+    def test_border_point_joins_cluster(self):
+        # 0,1,2 dense; 4 is within radius of 2 only (border, not core).
+        points = [0, 1, 2, 4]
+        labels = dbscan(4, neighbors_within(points, 2), min_pts=3)
+        assert labels[:3] == [0, 0, 0]
+        assert labels[3] == 0  # adopted as a border point
+
+    def test_chain_expansion(self):
+        # A long density-connected chain must form ONE cluster.
+        points = list(range(0, 50, 2))
+        labels = dbscan(len(points), neighbors_within(points, 4), min_pts=3)
+        assert set(labels) == {0}
+
+    def test_two_chains_separated_by_gap(self):
+        points = list(range(0, 20, 2)) + list(range(100, 120, 2))
+        labels = dbscan(len(points), neighbors_within(points, 4), min_pts=3)
+        assert set(labels[:10]) == {0}
+        assert set(labels[10:]) == {1}
+
+    def test_empty_input(self):
+        assert dbscan(0, lambda i: [], min_pts=3) == []
+
+    def test_all_noise(self):
+        points = [0, 100, 200, 300]
+        labels = dbscan(4, neighbors_within(points, 1), min_pts=2)
+        assert labels == [DBSCAN_NOISE] * 4
+
+    def test_singleton_with_min_pts_one(self):
+        points = [0, 100]
+        labels = dbscan(2, neighbors_within(points, 1), min_pts=1)
+        assert labels == [0, 1]
+
+    def test_invalid_params(self):
+        with pytest.raises(ClusteringError):
+            dbscan(-1, lambda i: [], min_pts=3)
+        with pytest.raises(ClusteringError):
+            dbscan(3, lambda i: [], min_pts=0)
+
+    def test_cluster_ids_consecutive(self):
+        points = [0, 1, 2, 50, 51, 52, 100, 101, 102]
+        labels = dbscan(9, neighbors_within(points, 3), min_pts=3)
+        assert sorted(set(labels)) == [0, 1, 2]
+
+    def test_deterministic_labeling(self):
+        points = [5, 6, 7, 20, 21, 22, 90]
+        nbrs = neighbors_within(points, 2)
+        assert dbscan(7, nbrs, 3) == dbscan(7, nbrs, 3)
+
+
+class TestClustersFromLabels:
+    def test_grouping(self):
+        assert clusters_from_labels([0, 0, -1, 1]) == {0: [0, 1], 1: [3]}
+
+    def test_empty(self):
+        assert clusters_from_labels([]) == {}
+
+    def test_all_noise(self):
+        assert clusters_from_labels([-1, -1]) == {}

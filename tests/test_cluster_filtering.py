@@ -1,0 +1,53 @@
+"""Tests for the theta_c distinct-domain campaign filter (§3.3)."""
+
+import pytest
+
+from repro.cluster.filtering import (
+    DEFAULT_THETA_C,
+    distinct_e2lds,
+    filter_clusters_by_domains,
+)
+
+
+class TestFilter:
+    def test_paper_default(self):
+        assert DEFAULT_THETA_C == 5
+
+    def test_distinct_count(self):
+        assert distinct_e2lds(["a.com", "b.com", "a.com"]) == 2
+
+    def test_churning_cluster_kept(self):
+        e2lds = [f"d{i}.club" for i in range(6)]
+        clusters = {0: list(range(6))}
+        assert filter_clusters_by_domains(clusters, e2lds, theta_c=5) == clusters
+
+    def test_stable_domain_cluster_dropped(self):
+        # A benign campaign: many screenshots, one domain.
+        e2lds = ["brand.com"] * 10
+        clusters = {0: list(range(10))}
+        assert filter_clusters_by_domains(clusters, e2lds, theta_c=5) == {}
+
+    def test_boundary_exactly_theta(self):
+        e2lds = [f"d{i}.club" for i in range(5)]
+        clusters = {0: list(range(5))}
+        assert filter_clusters_by_domains(clusters, e2lds, theta_c=5) == clusters
+
+    def test_boundary_one_below(self):
+        e2lds = [f"d{i}.club" for i in range(4)]
+        clusters = {0: list(range(4))}
+        assert filter_clusters_by_domains(clusters, e2lds, theta_c=5) == {}
+
+    def test_mixed_clusters(self):
+        e2lds = [f"d{i}.club" for i in range(5)] + ["one.com"] * 3
+        clusters = {0: [0, 1, 2, 3, 4], 1: [5, 6, 7]}
+        kept = filter_clusters_by_domains(clusters, e2lds, theta_c=5)
+        assert list(kept) == [0]
+
+    def test_theta_one_keeps_everything(self):
+        e2lds = ["a.com", "a.com"]
+        clusters = {0: [0, 1]}
+        assert filter_clusters_by_domains(clusters, e2lds, theta_c=1) == clusters
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError):
+            filter_clusters_by_domains({}, [], theta_c=0)

@@ -1,0 +1,72 @@
+"""Tests for Hamming distance matrices and the bucketed neighbour index."""
+
+import random
+
+import numpy as np
+
+from repro.cluster.metrics import HammingNeighborIndex, pairwise_hamming_matrix
+from repro.imaging.distance import hamming
+
+
+class TestPairwiseMatrix:
+    def test_small_matrix(self):
+        hashes = [0b0000, 0b0001, 0b1111]
+        matrix = pairwise_hamming_matrix(hashes)
+        assert matrix[0, 0] == 0
+        assert matrix[0, 1] == 1
+        assert matrix[0, 2] == 4
+        assert np.array_equal(matrix, matrix.T)
+
+
+def brute_force_neighbors(hashes, index, radius):
+    return sorted(
+        j for j, value in enumerate(hashes) if hamming(hashes[index], value) <= radius
+    )
+
+
+class TestHammingNeighborIndex:
+    def make_population(self, seed=0, count=300):
+        rng = random.Random(seed)
+        hashes = []
+        # Clustered population: 10 centers, small perturbations.
+        centers = [rng.getrandbits(128) for _ in range(10)]
+        for _ in range(count):
+            center = rng.choice(centers)
+            flips = rng.randint(0, 6)
+            value = center
+            for _ in range(flips):
+                value ^= 1 << rng.randrange(128)
+            hashes.append(value)
+        return hashes
+
+    def test_matches_brute_force_radius_12(self):
+        hashes = self.make_population()
+        index = HammingNeighborIndex(hashes, radius_bits=12)
+        for probe in range(0, len(hashes), 17):
+            assert index.neighbors_of(probe) == brute_force_neighbors(hashes, probe, 12)
+
+    def test_matches_brute_force_radius_0(self):
+        hashes = self.make_population(seed=1)
+        index = HammingNeighborIndex(hashes, radius_bits=0)
+        for probe in range(0, len(hashes), 23):
+            assert index.neighbors_of(probe) == brute_force_neighbors(hashes, probe, 0)
+
+    def test_large_radius_falls_back_to_scan(self):
+        hashes = self.make_population(seed=2, count=60)
+        index = HammingNeighborIndex(hashes, radius_bits=40)
+        for probe in range(0, len(hashes), 7):
+            assert sorted(index.neighbors_of(probe)) == brute_force_neighbors(
+                hashes, probe, 40
+            )
+
+    def test_self_always_included(self):
+        hashes = [0, 2**127, 12345]
+        index = HammingNeighborIndex(hashes, radius_bits=5)
+        for i in range(3):
+            assert i in index.neighbors_of(i)
+
+    def test_negative_radius_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HammingNeighborIndex([0], radius_bits=-1)

@@ -1,0 +1,147 @@
+"""Tests for ad attribution and new-network discovery (§3.6/§4.4)."""
+
+from repro.core.attribution import (
+    attribute_interactions,
+    discover_new_networks,
+    expand_publisher_list,
+)
+from repro.core.crawler import AdInteraction, ChainNode
+from repro.core.seeds import InvariantPattern
+
+POPCASH = InvariantPattern("popcash", "PopCash", "pcuid_var")
+ADSTERRA = InvariantPattern("adsterra", "AdSterra", "atag_srv")
+
+
+def interaction_with_chain(chain, publisher_scripts=()):
+    return AdInteraction(
+        publisher_domain="pub.com",
+        publisher_url="http://pub.com/",
+        ua_name="chrome66-macos",
+        vantage_name="institution",
+        landing_url="http://land.club/x",
+        landing_host="land.club",
+        landing_e2ld="land.club",
+        screenshot_hash=0,
+        timestamp=0.0,
+        chain=tuple(chain),
+        publisher_scripts=tuple(publisher_scripts),
+        labels={},
+    )
+
+
+class TestAttribution:
+    def test_click_url_attribution(self):
+        record = interaction_with_chain(
+            [ChainNode(url="http://d.net/pcuid_var/go?pid=p", cause="window-open")]
+        )
+        result = attribute_interactions([record], [POPCASH, ADSTERRA])
+        assert result.by_network == {"popcash": [record]}
+        assert result.unknown == []
+
+    def test_script_provenance_attribution(self):
+        record = interaction_with_chain(
+            [
+                ChainNode(
+                    url="http://tds.info/go",
+                    cause="window-open",
+                    source_url="http://d.net/atag_srv.js",
+                )
+            ]
+        )
+        result = attribute_interactions([record], [POPCASH, ADSTERRA])
+        assert result.by_network == {"adsterra": [record]}
+
+    def test_unknown_when_no_pattern_matches(self):
+        record = interaction_with_chain(
+            [ChainNode(url="http://d.net/eroadv_cb/go?pid=p", cause="window-open")]
+        )
+        result = attribute_interactions([record], [POPCASH, ADSTERRA])
+        assert result.unknown == [record]
+
+    def test_publisher_scripts_do_not_misattribute(self):
+        """A stacked publisher page carries several networks' snippets;
+        only THIS ad's chain may decide the attribution."""
+        record = interaction_with_chain(
+            [ChainNode(url="http://d.net/pcuid_var/go?pid=p", cause="window-open")],
+            publisher_scripts=("http://x.net/atag_srv.js",),
+        )
+        result = attribute_interactions([record], [ADSTERRA, POPCASH])
+        assert result.by_network == {"popcash": [record]}
+
+    def test_counts(self):
+        records = [
+            interaction_with_chain(
+                [ChainNode(url="http://d.net/pcuid_var/go", cause="window-open")]
+            )
+            for _ in range(3)
+        ]
+        result = attribute_interactions(records, [POPCASH])
+        assert result.network_counts() == {"popcash": 3}
+        assert result.attributed_count == 3
+
+
+class TestNewNetworkDiscovery:
+    def unknown_records(self, token, count):
+        return [
+            interaction_with_chain(
+                [
+                    ChainNode(
+                        url=f"http://d{i}.net/{token}/go?pid=p",
+                        cause="window-open",
+                        source_url=f"http://d{i}.net/{token}.js",
+                    )
+                ]
+            )
+            for i in range(count)
+        ]
+
+    def test_recurring_token_resolved_to_network(self):
+        unknown = self.unknown_records("eroadv_cb", 5)
+        discovered = discover_new_networks(unknown)
+        assert [p.network_name for p in discovered] == ["Ero Advertising"]
+
+    def test_rare_token_ignored(self):
+        unknown = self.unknown_records("ylx_mid", 2)  # below min_occurrences
+        assert discover_new_networks(unknown) == []
+
+    def test_unresolvable_token_ignored(self):
+        unknown = self.unknown_records("totally_madeup", 10)
+        assert discover_new_networks(unknown) == []
+
+    def test_sample_size_respected(self):
+        unknown = self.unknown_records("ylx_mid", 60)
+        # Only the first `sample_size` records are "manually analysed".
+        assert discover_new_networks(unknown, sample_size=2) == []
+        assert discover_new_networks(unknown, sample_size=50)
+
+    def test_on_real_crawl(self, pipeline_run):
+        world, _, result = pipeline_run
+        names = {pattern.network_name for pattern in result.new_patterns}
+        assert names <= {"Ero Advertising", "Yllix", "Ad-Center"}
+        assert names  # at least one discovered, as in §4.4
+
+
+class TestSeedExpansion:
+    def test_expansion_finds_new_publishers(self, pipeline_run):
+        world, _, result = pipeline_run
+        assert result.expanded_publishers
+        known = set(result.publisher_domains)
+        for domain in result.expanded_publishers:
+            assert domain not in known
+            site = world.publisher_directory.get(domain)
+            discovered_keys = {p.network_key for p in result.new_patterns}
+            assert {server.spec.key for server in site.networks} & discovered_keys
+
+    def test_expansion_covers_new_publisher_population(self, pipeline_run):
+        world, _, result = pipeline_run
+        discovered_keys = {pattern.network_key for pattern in result.new_patterns}
+        expected = {
+            site.domain
+            for site in world.new_publishers
+            if any(server.spec.key in discovered_keys for server in site.networks)
+        }
+        assert expected <= set(result.expanded_publishers)
+
+    def test_expand_with_no_patterns(self, pipeline_run):
+        world, _, _ = pipeline_run
+        assert expand_publisher_list([], world.publicwww, set()) == []

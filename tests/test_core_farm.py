@@ -1,0 +1,95 @@
+"""Tests for the crawler farm (§3.2 operations / §4.1 setup)."""
+
+from repro.core.farm import CrawlerFarm, FarmConfig
+from repro.core.crawler import CrawlerConfig
+
+
+class TestGroupSplit:
+    def test_cloaking_networks_go_residential(self, tiny_world):
+        farm = CrawlerFarm(tiny_world)
+        domains = [site.domain for site in tiny_world.publishers]
+        institutional, residential = farm.split_publisher_groups(domains)
+        assert set(institutional).isdisjoint(residential)
+        assert len(institutional) + len(residential) == len(domains)
+        for domain in residential:
+            site = tiny_world.publisher_directory.get(domain)
+            assert site.uses_network("propeller") or site.uses_network("clickadu")
+        for domain in institutional:
+            site = tiny_world.publisher_directory.get(domain)
+            assert not (site.uses_network("propeller") or site.uses_network("clickadu"))
+
+    def test_unknown_domains_default_institutional(self, tiny_world):
+        farm = CrawlerFarm(tiny_world)
+        institutional, residential = farm.split_publisher_groups(["stranger.example"])
+        assert institutional == ["stranger.example"]
+        assert residential == []
+
+
+class TestCrawl:
+    def test_dataset_bookkeeping(self, pipeline_run):
+        _, _, result = pipeline_run
+        dataset = result.crawl
+        # 4 UA profiles per visited publisher.
+        assert dataset.sessions == dataset.publishers_visited * 4
+        assert dataset.publishers_visited == (
+            dataset.publishers_institutional + dataset.publishers_residential
+        )
+        assert dataset.publishers_with_ads
+        assert len(dataset.publishers_with_ads) <= dataset.publishers_visited
+
+    def test_crawl_spans_configured_window(self, pipeline_run):
+        world, _, result = pipeline_run
+        dataset = result.crawl
+        window = world.config.crawl_window_days * 86400.0
+        # Per-click think time adds a little on top of the farm pacing.
+        assert window * 0.8 <= dataset.duration <= window * 2.0
+
+    def test_residential_fraction_cap(self, pipeline_run):
+        world, _, result = pipeline_run
+        dataset = result.crawl
+        # §4.1: only a fraction of the residential group is crawled.
+        _, residential = CrawlerFarm(world).split_publisher_groups(
+            result.publisher_domains
+        )
+        assert dataset.publishers_residential <= len(residential)
+
+    def test_interactions_from_both_groups(self, pipeline_run):
+        _, _, result = pipeline_run
+        vantages = {record.vantage_name for record in result.crawl.interactions}
+        assert "institution" in vantages
+        assert any(name.startswith("laptop-") for name in vantages)
+
+    def test_cloaked_networks_only_serve_se_to_residential(self, pipeline_run):
+        world, _, result = pipeline_run
+        for record in result.crawl.interactions:
+            if record.labels.get("kind") != "se-attack":
+                continue
+            chain_text = " ".join(node.url for node in record.chain)
+            for key in ("propeller", "clickadu"):
+                token = world.networks[key].spec.invariant_token
+                if f"/{token}/" in chain_text:
+                    assert record.vantage_name.startswith("laptop-"), (
+                        "cloaking network served an SE ad to a datacenter vantage"
+                    )
+
+    def test_landing_click_costs_accumulate(self, pipeline_run):
+        _, _, result = pipeline_run
+        counts = result.crawl.landing_click_counts
+        assert sum(counts.values()) == len(
+            [r for r in result.crawl.interactions if r.landing_e2ld]
+        )
+
+    def test_all_four_profiles_used(self, pipeline_run):
+        _, _, result = pipeline_run
+        names = {record.ua_name for record in result.crawl.interactions}
+        assert len(names) >= 3  # all four modulo sampling noise
+
+    def test_farm_config_parallelism_controls_pacing(self, fresh_world):
+        farm = CrawlerFarm(
+            fresh_world,
+            FarmConfig(parallelism=100, crawler=CrawlerConfig(max_ads=1)),
+        )
+        domains = [site.domain for site in fresh_world.publishers[:10]]
+        dataset = farm.crawl(domains)
+        # 40 sessions at 120s/100 each, plus click think-time.
+        assert dataset.duration < 600.0

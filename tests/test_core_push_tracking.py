@@ -1,0 +1,75 @@
+"""Tests for push-notification channel tracking (§4.3 extension)."""
+
+import pytest
+
+from repro.attacks.categories import AttackCategory
+from repro.core.push_tracking import (
+    PushChannelTracker,
+    collect_subscriptions,
+)
+
+
+class TestSubscriptionCollection:
+    def test_endpoints_harvested_from_crawl(self, pipeline_run):
+        _, _, result = pipeline_run
+        subscriptions = collect_subscriptions(result.crawl.interactions)
+        assert subscriptions, "notification campaigns must offer endpoints"
+        endpoints = {subscription.endpoint for subscription in subscriptions}
+        assert all(endpoint.endswith("/feed") for endpoint in endpoints)
+
+    def test_deduplicated_per_ua(self, pipeline_run):
+        _, _, result = pipeline_run
+        subscriptions = collect_subscriptions(result.crawl.interactions)
+        keys = [(s.endpoint, s.ua_name) for s in subscriptions]
+        assert len(keys) == len(set(keys))
+
+    def test_endpoints_belong_to_notification_campaigns(self, pipeline_run):
+        world, _, result = pipeline_run
+        push_domains = {
+            campaign.push_domain
+            for campaign in world.campaigns
+            if campaign.push_domain is not None
+        }
+        for subscription in collect_subscriptions(result.crawl.interactions):
+            host = subscription.endpoint.split("/")[2]
+            assert host in push_domains
+
+    def test_empty_crawl(self):
+        assert collect_subscriptions([]) == []
+
+
+class TestPushChannelTracker:
+    @pytest.fixture(scope="class")
+    def push_report(self, pipeline_run):
+        world, _, result = pipeline_run
+        subscriptions = collect_subscriptions(result.crawl.interactions)
+        tracker = PushChannelTracker(
+            world.internet, world.gsb, world.vantages_residential[0]
+        )
+        return world, tracker.run(subscriptions, duration_days=1.0)
+
+    def test_channel_keeps_delivering_fresh_domains(self, push_report):
+        world, report = push_report
+        assert report.subscriptions > 0
+        assert report.polls > 0
+        # One day of rotation yields several distinct attack domains.
+        assert len(report.distinct_domains()) >= 2
+
+    def test_pushed_urls_are_real_attack_pages(self, push_report):
+        world, report = push_report
+        for record in report.pushed:
+            owner = world.attack_domain_owner.get(record.domain)
+            assert owner is not None
+            campaign = world.campaign_by_key(owner)
+            assert campaign.category is AttackCategory.NOTIFICATIONS
+
+    def test_gsb_blind_to_push_channel(self, push_report):
+        """Notification campaigns fully evade GSB (Table 1), so the push
+        channel delivers unblocked URLs essentially always."""
+        _, report = push_report
+        assert report.gsb_miss_rate() > 0.95
+
+    def test_timestamps_within_window(self, push_report):
+        _, report = push_report
+        for record in report.pushed:
+            assert report.started_at <= record.received_at <= report.finished_at

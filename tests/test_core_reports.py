@@ -1,0 +1,177 @@
+"""Tests for report/table generation."""
+
+import pytest
+
+from repro.core import reports
+from repro.core.reports import (
+    ethics_cost,
+    render_table,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestTable1:
+    def test_rows_per_category(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = table1(result.discovery, world.gsb, world.clock.now())
+        assert len(rows) == 6
+        assert rows[0].category == "Fake Software"
+        assert rows[-1].category == "Technical Support"
+
+    def test_counts_consistent_with_discovery(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = table1(result.discovery, world.gsb, world.clock.now())
+        total_campaigns = sum(row.se_campaigns for row in rows)
+        assert total_campaigns == len(result.discovery.seacma_campaigns)
+        total_attacks = sum(row.se_attacks for row in rows)
+        assert total_attacks == len(result.discovery.se_interactions())
+
+    def test_undetectable_categories_zero(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = {row.category: row for row in table1(result.discovery, world.gsb, world.clock.now())}
+        for name in ("Registration", "Chrome Notifications", "Scareware"):
+            if rows[name].se_campaigns:
+                assert rows[name].gsb_domains_pct == 0.0
+                assert rows[name].gsb_campaigns_pct == 0.0
+
+    def test_fake_software_partially_detected(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = {row.category: row for row in table1(result.discovery, world.gsb, world.clock.now())}
+        fs = rows["Fake Software"]
+        if fs.se_campaigns >= 3:
+            assert 0.0 < fs.gsb_domains_pct < 50.0
+            assert fs.gsb_campaigns_pct >= fs.gsb_domains_pct
+
+
+class TestTable2:
+    def test_top20_with_percentages(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = table2(result.discovery, world.webpulse)
+        assert 0 < len(rows) <= 20
+        assert abs(sum(row.pct_of_total for row in rows) - 100.0) < 50.0
+        counts = [row.publisher_domains for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_categories_from_webpulse_vocabulary(self, pipeline_run):
+        from repro.ecosystem.webpulse import CATEGORY_WEIGHTS
+
+        world, _, result = pipeline_run
+        for row in table2(result.discovery, world.webpulse):
+            assert row.category in CATEGORY_WEIGHTS
+
+
+class TestTable3:
+    def test_landing_and_se_counts(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = table3(result.attribution, result.discovery, world.networks)
+        by_name = {row.network: row for row in rows}
+        assert "Unknown" in by_name
+        for row in rows:
+            assert 0 <= row.se_attack_pages <= row.landing_pages
+            if row.landing_pages:
+                assert row.se_pct == pytest.approx(
+                    100.0 * row.se_attack_pages / row.landing_pages
+                )
+
+    def test_totals_match_attribution(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = table3(result.attribution, result.discovery, world.networks)
+        total = sum(row.landing_pages for row in rows)
+        assert total == len(result.crawl.interactions)
+
+    def test_network_domain_counts(self, pipeline_run):
+        world, _, result = pipeline_run
+        rows = table3(result.attribution, result.discovery, world.networks)
+        for row in rows:
+            if row.network == "Unknown":
+                assert row.network_domains == 0
+            else:
+                server = next(
+                    server for server in world.networks.values()
+                    if server.spec.name == row.network
+                )
+                assert row.network_domains == len(server.code_domains)
+
+    def test_se_heavy_networks_rank_high(self, pipeline_run):
+        """PopCash/AdCash/AdSterra must show much higher SE rates than
+        HilltopAds/Clicksor — Table 3's headline shape."""
+        world, _, result = pipeline_run
+        rows = {row.network: row for row in table3(result.attribution, result.discovery, world.networks)}
+        heavy = [rows[name].se_pct for name in ("PopCash", "AdSterra") if name in rows and rows[name].landing_pages >= 20]
+        light = [rows[name].se_pct for name in ("HilltopAds", "Clicksor", "PopMyAds") if name in rows and rows[name].landing_pages >= 20]
+        if heavy and light:
+            assert min(heavy) > max(light)
+
+
+class TestTable4:
+    def test_all_row_totals(self, pipeline_run):
+        _, _, result = pipeline_run
+        rows = table4(result.milking)
+        assert rows[-1].category == "All"
+        assert rows[-1].domains == sum(row.domains for row in rows[:-1])
+
+    def test_final_rate_not_below_initial(self, pipeline_run):
+        _, _, result = pipeline_run
+        for row in table4(result.milking):
+            assert row.gsb_final_pct >= row.gsb_init_pct
+
+    def test_overall_shape(self, pipeline_run):
+        _, _, result = pipeline_run
+        overall = table4(result.milking)[-1]
+        assert overall.gsb_init_pct < 5.0
+        assert 5.0 < overall.gsb_final_pct < 35.0
+
+
+class TestEthicsCost:
+    def test_cost_accounting(self, pipeline_run):
+        _, _, result = pipeline_run
+        cost = ethics_cost(result.crawl, result.discovery, cpm_usd=4.0)
+        assert cost.legit_domains > 0
+        assert cost.worst_case_clicks >= cost.mean_clicks_per_domain
+        assert cost.worst_case_cost_usd == pytest.approx(
+            cost.worst_case_clicks * 0.004
+        )
+        assert cost.mean_cost_per_domain_usd < 1.0  # "negligible" per §6
+
+    def test_se_domains_excluded(self, pipeline_run):
+        _, _, result = pipeline_run
+        cost = ethics_cost(result.crawl, result.discovery)
+        se_domains = set()
+        for cluster in result.discovery.seacma_campaigns:
+            se_domains.update(cluster.distinct_e2lds)
+        legit_clicks = {
+            domain: count
+            for domain, count in result.crawl.landing_click_counts.items()
+            if domain not in se_domains
+        }
+        assert cost.legit_domains == len(legit_clicks)
+
+    def test_empty_dataset(self):
+        from repro.core.discovery import DiscoveryResult
+        from repro.core.farm import CrawlDataset
+
+        cost = ethics_cost(CrawlDataset(), DiscoveryResult())
+        assert cost.legit_domains == 0
+        assert cost.worst_case_cost_usd == 0.0
+
+
+class TestRendering:
+    def test_render_table(self, pipeline_run):
+        world, _, result = pipeline_run
+        text = render_table(
+            table1(result.discovery, world.gsb, world.clock.now()), "TABLE 1"
+        )
+        assert text.startswith("TABLE 1")
+        assert "Fake Software" in text
+        assert len(text.splitlines()) == 9  # title + header + rule + 6 rows
+
+    def test_render_empty(self):
+        assert "(empty)" in render_table([], "X")
+
+    def test_float_formatting(self, pipeline_run):
+        world, _, result = pipeline_run
+        text = render_table(table4(result.milking))
+        assert "." in text  # percentages rendered with decimals

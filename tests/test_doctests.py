@@ -1,0 +1,32 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.clock",
+    "repro.rng",
+    "repro.urlkit.url",
+    "repro.urlkit.psl",
+    "repro.urlkit.domains",
+    "repro.cluster.dbscan",
+    "repro.imaging.dhash",
+    "repro.imaging.png",
+    "repro.analysis.uncertainty",
+]
+
+EXAMPLE_RICH = {"repro.rng", "repro.urlkit.url", "repro.cluster.dbscan"}
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_doctests(module_name):
+    # importlib, not attribute access: several packages re-export a
+    # function under the same name as its defining module.
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    if module_name in EXAMPLE_RICH:
+        # These modules are documented by example; keep it that way.
+        assert results.attempted > 0

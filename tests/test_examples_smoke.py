@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run to completion.
+
+The fast examples run in the default suite; the minutes-long ones are
+behind the ``slow`` marker.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_streaming_site_investigation(self):
+        output = run_example("streaming_site_investigation.py")
+        assert "Target publisher:" in output
+        assert "loading chain:" in output
+
+    def test_offline_dataset_analysis(self):
+        output = run_example("offline_dataset_analysis.py")
+        assert "[release] exported" in output
+        assert "milkable upstream hosts" in output
+
+    def test_adblock_evasion_study(self):
+        output = run_example("adblock_evasion_study.py")
+        assert "BLOCKED" in output
+        assert "stealth devtools" in output
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "TABLE 1" in output
+        assert "VirusTotal" in output
+
+    def test_milking_tracker(self):
+        output = run_example("milking_tracker.py", "2")
+        assert "Milking timeline" in output
+
+    def test_defense_feed(self, tmp_path):
+        output = run_example("defense_feed.py", "1")
+        assert "Proactive blacklist feed" in output
+        # The example writes its export next to the repo root; clean up.
+        artifact = EXAMPLES.parent / "milking_report.json"
+        if artifact.exists():
+            artifact.unlink()

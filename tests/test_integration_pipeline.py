@@ -1,0 +1,82 @@
+"""End-to-end integration tests: the full Figure 2 pipeline."""
+
+from collections import Counter
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core.milking import MilkingConfig
+
+
+class TestFullPipeline:
+    def test_every_stage_produced_output(self, pipeline_run):
+        _, _, result = pipeline_run
+        assert len(result.patterns) == 11
+        assert result.publisher_domains
+        assert result.crawl is not None and result.crawl.interactions
+        assert result.discovery is not None and result.discovery.campaigns
+        assert result.attribution is not None
+        assert result.milking is not None
+
+    def test_reversal_covers_all_seed_publishers(self, pipeline_run):
+        world, _, result = pipeline_run
+        assert set(result.publisher_domains) == {
+            site.domain for site in world.publishers
+        }
+
+    def test_majority_of_ads_attributed(self, pipeline_run):
+        """§4.4: 81% of SE attacks linked to the 11 seed networks."""
+        _, _, result = pipeline_run
+        total = result.attribution.attributed_count + len(result.attribution.unknown)
+        assert result.attribution.attributed_count / total > 0.6
+
+    def test_discovered_campaigns_are_real(self, pipeline_run):
+        world, _, result = pipeline_run
+        true_keys = {campaign.key for campaign in world.campaigns}
+        for cluster in result.discovery.seacma_campaigns:
+            keys = {
+                record.labels.get("campaign") for record in cluster.interactions
+            } - {None}
+            assert keys <= true_keys
+
+    def test_milking_discovers_fresh_domains(self, pipeline_run):
+        """Milked domains are new relative to the crawl (§4.5)."""
+        _, _, result = pipeline_run
+        crawl_domains = {
+            record.landing_e2ld for record in result.crawl.interactions
+        }
+        fresh = [
+            record for record in result.milking.domains
+            if record.domain not in crawl_domains
+        ]
+        assert len(fresh) > len(result.milking.domains) * 0.7
+
+    def test_feedback_loop_expands_coverage(self, pipeline_run):
+        _, _, result = pipeline_run
+        if result.new_patterns:
+            assert result.expanded_publishers
+
+    def test_deterministic_end_to_end(self):
+        """Two identical runs on identically seeded worlds agree."""
+        outcomes = []
+        for _ in range(2):
+            world = build_world(WorldConfig.tiny(seed=42))
+            pipeline = SeacmaPipeline(
+                world, milking_config=MilkingConfig(duration_days=0.5, post_lookup_days=0.5)
+            )
+            result = pipeline.run()
+            outcomes.append(
+                (
+                    len(result.crawl.interactions),
+                    sorted(c.cluster_id for c in result.discovery.campaigns),
+                    sorted(d.domain for d in result.milking.domains),
+                    Counter(
+                        {k: len(v) for k, v in result.attribution.by_network.items()}
+                    ),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_pipeline_without_milking(self, fresh_world):
+        pipeline = SeacmaPipeline(fresh_world)
+        result = pipeline.run(with_milking=False)
+        assert result.milking is None
+        assert result.discovery is not None

@@ -1,0 +1,180 @@
+"""Tests for the JS-op engine against a recording host."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.js.api import (
+    AddListener,
+    Alert,
+    AuthDialogLoop,
+    Beacon,
+    CheckWebdriver,
+    InjectOverlay,
+    Navigate,
+    OnBeforeUnload,
+    OpenTab,
+    RequestNotificationPermission,
+    Script,
+    SetTimeout,
+    TriggerDownload,
+    handler,
+    resolve_url,
+)
+from repro.js.engine import JsEngine
+from repro.net.http import RedirectKind
+
+
+@dataclass
+class RecordingHost:
+    """A JsHost double that records every call."""
+
+    webdriver: bool = False
+    calls: list = field(default_factory=list)
+    api_log: list = field(default_factory=list)
+
+    def now(self):
+        return 42.0
+
+    def log_api(self, api, args, script_url):
+        self.api_log.append((api, args, script_url))
+
+    def attach_listener(self, selector, event, handler, once, script_url):
+        self.calls.append(("listener", selector, event, once))
+
+    def inject_overlay(self, handler, once, z_index, script_url):
+        self.calls.append(("overlay", once, z_index))
+
+    def open_tab(self, url, popunder, script_url):
+        self.calls.append(("open", url, popunder))
+
+    def navigate(self, url, mechanism, script_url):
+        self.calls.append(("navigate", url, mechanism))
+
+    def schedule_timeout(self, delay_ms, ops, script_url):
+        self.calls.append(("timeout", delay_ms, ops))
+
+    def webdriver_visible(self):
+        return self.webdriver
+
+    def show_dialog(self, kind, message, repeat, script_url):
+        self.calls.append(("dialog", kind, repeat))
+
+    def register_unload_nag(self, message, script_url):
+        self.calls.append(("nag", message))
+
+    def request_notification_permission(self, prompt_text, push_endpoint, script_url):
+        self.calls.append(("notify", prompt_text, push_endpoint))
+
+    def trigger_download(self, url, script_url):
+        self.calls.append(("download", url))
+
+    def send_beacon(self, url, script_url):
+        self.calls.append(("beacon", url))
+
+
+def run(ops, webdriver=False):
+    host = RecordingHost(webdriver=webdriver)
+    JsEngine(host).run(tuple(ops), "http://code.net/x.js")
+    return host
+
+
+class TestOps:
+    def test_add_listener(self):
+        host = run([AddListener("document", "click", handler(), once=True)])
+        assert ("listener", "document", "click", True) in host.calls
+        assert host.api_log[0][0] == "EventTarget.addEventListener"
+
+    def test_inject_overlay_logs_two_apis(self):
+        host = run([InjectOverlay(handler=handler())])
+        apis = [entry[0] for entry in host.api_log]
+        assert apis == ["Node.appendChild", "EventTarget.addEventListener"]
+        assert host.calls[0][0] == "overlay"
+
+    def test_open_tab(self):
+        host = run([OpenTab("http://ad.com/x", popunder=True)])
+        assert host.calls == [("open", "http://ad.com/x", True)]
+        assert host.api_log[0] == ("Window.open", ("http://ad.com/x",), "http://code.net/x.js")
+
+    def test_open_tab_dynamic_url(self):
+        host = run([OpenTab(lambda now: f"http://ad.com/t{int(now)}")])
+        assert host.calls == [("open", "http://ad.com/t42", False)]
+
+    def test_navigate_mechanism_apis(self):
+        host = run(
+            [
+                Navigate("http://a.com/", RedirectKind.JS_LOCATION),
+                Navigate("http://b.com/", RedirectKind.JS_PUSH_STATE),
+                Navigate("http://c.com/", RedirectKind.JS_REPLACE_STATE),
+            ]
+        )
+        apis = [entry[0] for entry in host.api_log]
+        assert apis == ["Location.assign", "History.pushState", "History.replaceState"]
+
+    def test_set_timeout_defers(self):
+        inner = handler(OpenTab("http://late.com/"))
+        host = run([SetTimeout(delay_ms=100.0, ops=inner)])
+        assert host.calls == [("timeout", 100.0, inner)]
+
+    def test_check_webdriver_clean_branch(self):
+        ops = [CheckWebdriver(if_clean=handler(Alert("hi")), if_automated=())]
+        host = run(ops, webdriver=False)
+        assert ("dialog", "alert", 1) in host.calls
+
+    def test_check_webdriver_automated_branch(self):
+        ops = [CheckWebdriver(if_clean=handler(Alert("hi")), if_automated=())]
+        host = run(ops, webdriver=True)
+        assert host.calls == []  # the anti-bot branch does nothing
+
+    def test_check_webdriver_always_reads_navigator(self):
+        host = run([CheckWebdriver()], webdriver=True)
+        assert host.api_log[0][0] == "Navigator.webdriver"
+
+    def test_alert_repeat(self):
+        host = run([Alert("locked!", repeat=3)])
+        assert ("dialog", "alert", 3) in host.calls
+
+    def test_onbeforeunload(self):
+        host = run([OnBeforeUnload("stay!")])
+        assert ("nag", "stay!") in host.calls
+
+    def test_auth_dialog_loop(self):
+        host = run([AuthDialogLoop(rounds=2)])
+        assert ("dialog", "auth", 2) in host.calls
+
+    def test_notification_request(self):
+        host = run([RequestNotificationPermission("click allow")])
+        assert ("notify", "click allow", None) in host.calls
+        assert host.api_log[0][0] == "Notification.requestPermission"
+
+    def test_notification_request_with_endpoint(self):
+        host = run(
+            [RequestNotificationPermission("allow", push_endpoint="http://push.net/feed")]
+        )
+        assert ("notify", "allow", "http://push.net/feed") in host.calls
+
+    def test_download(self):
+        host = run([TriggerDownload("http://evil.club/download")])
+        assert ("download", "http://evil.club/download") in host.calls
+
+    def test_beacon(self):
+        host = run([Beacon("http://stats.net/px")])
+        assert ("beacon", "http://stats.net/px") in host.calls
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TypeError):
+            run([object()])
+
+    def test_run_script(self):
+        host = RecordingHost()
+        script = Script(ops=handler(Alert("x")), url="http://s.com/a.js")
+        JsEngine(host).run_script(script)
+        assert host.api_log[0][2] == "http://s.com/a.js"
+
+
+class TestResolveUrl:
+    def test_static(self):
+        assert resolve_url("http://a.com/", 0.0) == "http://a.com/"
+
+    def test_callable(self):
+        assert resolve_url(lambda now: f"http://a.com/{int(now)}", 9.0) == "http://a.com/9"

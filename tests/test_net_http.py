@@ -1,0 +1,104 @@
+"""Tests for the HTTP model: redirects, referrer policy, downloads."""
+
+import pytest
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    RedirectKind,
+    ReferrerPolicy,
+    download_response,
+    html_response,
+    not_found,
+    redirect,
+    server_error,
+)
+from repro.net.ipspace import IpClass, VantagePoint
+from repro.urlkit.url import parse_url
+
+VP = VantagePoint("test", "73.1.2.3", IpClass.RESIDENTIAL)
+
+
+def make_request(url="http://a.com/", referrer=None):
+    return HttpRequest(
+        url=parse_url(url),
+        vantage=VP,
+        user_agent="TestUA/1.0",
+        referrer=parse_url(referrer) if referrer else None,
+    )
+
+
+class TestRedirectKind:
+    @pytest.mark.parametrize(
+        "kind", [RedirectKind.HTTP_301, RedirectKind.HTTP_302, RedirectKind.HTTP_303,
+                 RedirectKind.HTTP_307, RedirectKind.HTTP_308]
+    )
+    def test_http_kinds(self, kind):
+        assert kind.is_http
+
+    @pytest.mark.parametrize(
+        "kind", [RedirectKind.META_REFRESH, RedirectKind.JS_LOCATION,
+                 RedirectKind.JS_PUSH_STATE, RedirectKind.WINDOW_OPEN]
+    )
+    def test_browser_kinds(self, kind):
+        assert not kind.is_http
+
+
+class TestResponses:
+    def test_redirect_response(self):
+        response = redirect("http://b.com/x")
+        assert response.is_redirect
+        assert response.status == 302
+        assert str(response.location) == "http://b.com/x"
+
+    def test_redirect_custom_kind(self):
+        assert redirect("http://b.com/", RedirectKind.HTTP_301).status == 301
+
+    def test_redirect_rejects_non_http_kind(self):
+        with pytest.raises(ValueError):
+            redirect("http://b.com/", RedirectKind.META_REFRESH)
+
+    def test_html_response(self):
+        response = html_response({"page": True})
+        assert response.ok
+        assert not response.is_redirect
+        assert not response.is_download
+
+    def test_download_response(self):
+        response = download_response(object(), "setup.exe")
+        assert response.is_download
+        assert "setup.exe" in response.headers["Content-Disposition"]
+
+    def test_not_found(self):
+        assert not_found().status == 404
+        assert not not_found().ok
+
+    def test_server_error(self):
+        assert server_error().status == 500
+
+    def test_300_without_location_is_not_redirect(self):
+        assert not HttpResponse(status=302).is_redirect
+
+
+class TestReferrerPolicy:
+    def test_default_keeps_referrer(self):
+        request = make_request(referrer="http://pub.com/page")
+        out = request.with_referrer(parse_url("http://pub.com/page"), ReferrerPolicy.DEFAULT)
+        assert str(out.referrer) == "http://pub.com/page"
+
+    def test_no_referrer_strips(self):
+        request = make_request(referrer="http://pub.com/page")
+        out = request.with_referrer(parse_url("http://pub.com/page"), ReferrerPolicy.NO_REFERRER)
+        assert out.referrer is None
+
+    def test_origin_only(self):
+        request = make_request()
+        out = request.with_referrer(
+            parse_url("http://pub.com/secret/page?token=1"), ReferrerPolicy.ORIGIN
+        )
+        assert str(out.referrer) == "http://pub.com/"
+
+    def test_none_referrer_stays_none(self):
+        request = make_request()
+        out = request.with_referrer(None, ReferrerPolicy.UNSAFE_URL)
+        assert out.referrer is None

@@ -1,0 +1,59 @@
+"""Tests for vantage points and IP classes."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.ipspace import (
+    IpClass,
+    VantagePoint,
+    institution_vantage,
+    make_vantage,
+    residential_vantages,
+)
+
+
+class TestIpClass:
+    def test_only_residential_looks_residential(self):
+        assert IpClass.RESIDENTIAL.looks_residential
+        for klass in (IpClass.INSTITUTION, IpClass.DATACENTER, IpClass.TOR_EXIT):
+            assert not klass.looks_residential
+
+
+class TestVantagePoint:
+    def test_valid_ip_accepted(self):
+        vp = VantagePoint("x", "10.0.0.1", IpClass.DATACENTER)
+        assert vp.ip == "10.0.0.1"
+
+    def test_invalid_ip_rejected(self):
+        with pytest.raises(Exception):
+            VantagePoint("x", "300.1.2.3", IpClass.DATACENTER)
+
+    def test_looks_residential_passthrough(self):
+        assert VantagePoint("x", "73.1.1.1", IpClass.RESIDENTIAL).looks_residential
+        assert not VantagePoint("x", "52.1.1.1", IpClass.DATACENTER).looks_residential
+
+
+class TestFactories:
+    def test_make_vantage_deterministic(self):
+        assert make_vantage(7, "a", IpClass.RESIDENTIAL) == make_vantage(
+            7, "a", IpClass.RESIDENTIAL
+        )
+
+    def test_make_vantage_valid_address(self):
+        vp = make_vantage(7, "a", IpClass.TOR_EXIT)
+        ipaddress.IPv4Address(vp.ip)
+
+    def test_class_prefixes_differ(self):
+        residential = make_vantage(7, "a", IpClass.RESIDENTIAL)
+        datacenter = make_vantage(7, "a", IpClass.DATACENTER)
+        assert residential.ip.split(".")[:2] != datacenter.ip.split(".")[:2]
+
+    def test_three_laptops(self):
+        laptops = residential_vantages(7)
+        assert len(laptops) == 3
+        assert all(vp.looks_residential for vp in laptops)
+        assert len({vp.ip for vp in laptops}) == 3
+
+    def test_institution(self):
+        assert not institution_vantage(7).looks_residential

@@ -1,0 +1,66 @@
+"""Mid-scale validation run (opt-in: ``pytest -m slow``).
+
+Runs the full pipeline at the default (`small`) world scale — the same
+scale the paper-shape calibration was done at — and asserts the headline
+shapes of every table.  Skipped by default because it takes minutes.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core import reports
+from repro.core.milking import MilkingConfig
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    world = build_world(WorldConfig.small(seed=7))
+    pipeline = SeacmaPipeline(
+        world, milking_config=MilkingConfig(duration_days=14.0, post_lookup_days=12.0)
+    )
+    return world, pipeline.run()
+
+
+class TestSmallScaleShapes:
+    def test_all_categories_discovered(self, small_run):
+        _, result = small_run
+        categories = Counter(
+            cluster.category.value for cluster in result.discovery.seacma_campaigns
+        )
+        assert len(categories) == 6
+
+    def test_table1_shapes(self, small_run):
+        world, result = small_run
+        rows = {
+            row.category: row
+            for row in reports.table1(result.discovery, world.gsb, world.clock.now())
+        }
+        assert rows["Fake Software"].se_campaigns == max(
+            row.se_campaigns for row in rows.values()
+        )
+        assert rows["Registration"].gsb_domains_pct == 0.0
+        assert rows["Chrome Notifications"].gsb_domains_pct == 0.0
+        assert 0 < rows["Fake Software"].gsb_domains_pct < 50
+
+    def test_table3_shapes(self, small_run):
+        world, result = small_run
+        rows = {
+            row.network: row
+            for row in reports.table3(result.attribution, result.discovery, world.networks)
+        }
+        assert rows["PopCash"].se_pct > 50
+        assert rows["HilltopAds"].se_pct < 15
+
+    def test_table4_shapes(self, small_run):
+        _, result = small_run
+        overall = reports.table4(result.milking)[-1]
+        assert overall.gsb_init_pct < 5
+        assert 5 < overall.gsb_final_pct < 35
+
+    def test_gsb_lag(self, small_run):
+        _, result = small_run
+        assert result.milking.mean_detection_lag_days() > 7.0
