@@ -1,0 +1,78 @@
+"""Cost and fidelity of fault injection + recovery.
+
+Runs the same small world fault-free and with default-rate injection, and
+measures (a) the wall-clock overhead of the retry/breaker machinery and
+(b) that recovery is lossless: both runs discover the same campaign set.
+The accounted container delay (virtual seconds spent waiting out faults
+and backoffs) is written to ``results/fault_health.txt`` alongside the
+full fault-health table.
+"""
+
+import dataclasses
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core import reports
+
+FAULT_BENCH_CONFIG = WorldConfig(
+    seed=5,
+    n_publishers=150,
+    n_campaigns=10,
+    crawl_window_days=1.0,
+    max_code_domains=30,
+    n_advertisers=40,
+)
+
+FAULT_RATE = 0.05
+
+
+def run_world(fault_rate=0.0, retries_enabled=True):
+    config = dataclasses.replace(FAULT_BENCH_CONFIG, fault_rate=fault_rate)
+    world = build_world(config)
+    pipeline = SeacmaPipeline(world, retries_enabled=retries_enabled)
+    return pipeline.run(with_milking=False)
+
+
+def campaign_labels(result):
+    labels = set()
+    for cluster in result.discovery.seacma_campaigns:
+        labels.update(
+            record.labels.get("campaign")
+            for record in cluster.interactions
+            if record.labels.get("campaign")
+        )
+    return labels
+
+
+def test_crawl_fault_free(benchmark):
+    result = benchmark.pedantic(run_world, rounds=1, iterations=1)
+    assert result.fault_stats is None
+    assert result.discovery.seacma_campaigns
+
+
+def test_crawl_with_faults_and_recovery(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_world(fault_rate=FAULT_RATE), rounds=1, iterations=1
+    )
+    stats = result.fault_stats
+    assert stats.faults_injected > 0
+    assert not stats.degraded
+    # Recovery is lossless: same campaigns as the fault-free twin.
+    baseline = run_world()
+    assert campaign_labels(result) == campaign_labels(baseline)
+    save_artifact(
+        "fault_health",
+        reports.render_table(reports.fault_health(stats), "FAULT HEALTH")
+        + f"\n{stats.summary()}\n"
+        + f"accounted container delay: {stats.delay_seconds:.1f} virtual seconds",
+    )
+
+
+def test_crawl_degraded_no_retries(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_world(fault_rate=FAULT_RATE, retries_enabled=False),
+        rounds=1,
+        iterations=1,
+    )
+    stats = result.fault_stats
+    assert stats.degraded
+    assert stats.failed_fetches > 0

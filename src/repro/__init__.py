@@ -17,7 +17,14 @@ Quickstart::
 
 from repro.ecosystem.world import World, WorldConfig, build_world
 from repro.core.pipeline import PipelineResult, SeacmaPipeline
-from repro.core.farm import CrawlerFarm, FarmConfig, CrawlDataset
+from repro.core.farm import CrawlCheckpoint, CrawlerFarm, FarmConfig, CrawlDataset
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    FaultStats,
+    Resilience,
+    RetryPolicy,
+)
 from repro.core.crawler import AdInteraction, CrawlerConfig
 from repro.core.discovery import DiscoveryResult, discover_campaigns
 from repro.core.milking import MilkingConfig, MilkingReport, MilkingTracker
@@ -33,9 +40,15 @@ __all__ = [
     "build_world",
     "PipelineResult",
     "SeacmaPipeline",
+    "CrawlCheckpoint",
     "CrawlerFarm",
     "FarmConfig",
     "CrawlDataset",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultStats",
+    "Resilience",
+    "RetryPolicy",
     "AdInteraction",
     "CrawlerConfig",
     "DiscoveryResult",

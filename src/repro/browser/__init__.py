@@ -7,9 +7,11 @@ from repro.browser.logging import (
     DialogEntry,
     DnsFailureEntry,
     DownloadEntry,
+    FetchFailureEntry,
     NavigationEntry,
     NotificationPromptEntry,
     ScriptFetchEntry,
+    TabCrashEntry,
     TabOpenEntry,
 )
 from repro.browser.screenshot import Screenshot
@@ -29,6 +31,8 @@ __all__ = [
     "NotificationPromptEntry",
     "BeaconEntry",
     "DnsFailureEntry",
+    "FetchFailureEntry",
+    "TabCrashEntry",
     "Screenshot",
     "Browser",
     "Tab",

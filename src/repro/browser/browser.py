@@ -27,10 +27,12 @@ from repro.browser.logging import (
     DialogEntry,
     DnsFailureEntry,
     DownloadEntry,
+    FetchFailureEntry,
     FrameLoadEntry,
     NavigationEntry,
     NotificationPromptEntry,
     ScriptFetchEntry,
+    TabCrashEntry,
     TabOpenEntry,
 )
 from repro.browser.screenshot import Screenshot, capture
@@ -38,7 +40,13 @@ from repro.browser.useragent import UserAgentProfile
 from repro.dom.events import EventListener, collect_click_handlers
 from repro.dom.nodes import Element, div
 from repro.dom.page import PageContent
-from repro.errors import BrowserError, NoSuchElementError, RedirectLoopError, UrlError
+from repro.errors import (
+    BrowserError,
+    NoSuchElementError,
+    RedirectLoopError,
+    TransientError,
+    UrlError,
+)
 from repro.js.api import Ops
 from repro.js.engine import JsEngine
 from repro.net.http import HttpRequest, RedirectKind, ReferrerPolicy
@@ -63,6 +71,9 @@ class Tab:
     unload_nag: str | None = None
     locked: bool = False
     timers: list[tuple[float, Ops, str | None]] = field(default_factory=list)
+    #: Why the last load left the tab dead: ``"dns"``, ``"http"``,
+    #: ``"transient"``, ``"tab-crash"``, ``"redirect-loop"`` or None.
+    failure: str | None = None
 
     @property
     def loaded(self) -> bool:
@@ -125,6 +136,28 @@ class Browser:
         target = parse_url(url)
         if tab is None:
             tab = self.new_tab()
+        plan = self.internet.fault_plan
+        if plan is not None and plan.tab_crash(target.host):
+            resilience = self.internet.resilience
+            if resilience is not None and resilience.retry.should_retry(0):
+                # Relaunch the crashed tab process after one backoff; the
+                # crash hit before any request so the relaunch replays the
+                # world exactly.
+                resilience.backoff(0, "tab", target.host)
+            else:
+                self.log.append(
+                    TabCrashEntry(
+                        timestamp=self.internet.clock.now(),
+                        tab_id=tab.tab_id,
+                        url=str(target),
+                    )
+                )
+                tab.load_epoch += 1
+                tab.history.append(target)
+                tab.current_url = target
+                tab.page = None
+                tab.failure = "tab-crash"
+                return tab
         self._load(tab, target, cause="initial", source_url=None, referrer=None, depth=0)
         return tab
 
@@ -227,6 +260,24 @@ class Browser:
             tab.history.append(url)
             tab.current_url = url
             tab.page = None
+            tab.failure = "redirect-loop"
+            return
+        except TransientError as error:
+            # The retry budget could not absorb an injected fault: the
+            # tab shows a dead-page error instead of content.
+            self.log.append(
+                FetchFailureEntry(
+                    timestamp=self.internet.clock.now(),
+                    tab_id=tab.tab_id,
+                    url=str(url),
+                    reason=str(error),
+                )
+            )
+            tab.load_epoch += 1
+            tab.history.append(url)
+            tab.current_url = url
+            tab.page = None
+            tab.failure = "transient"
             return
         now = self.internet.clock.now()
         # Log the navigation chain: requested URL with the original cause,
@@ -247,12 +298,14 @@ class Browser:
         tab.unload_nag = None
         tab.locked = False
         tab.timers = []
+        tab.failure = None
         tab.history.append(final_url)
         if result.dns_failure or not result.response.ok:
             if result.dns_failure:
                 self.log.append(DnsFailureEntry(timestamp=now, tab_id=tab.tab_id, url=str(final_url)))
             tab.current_url = final_url
             tab.page = None
+            tab.failure = "dns" if result.dns_failure else "http"
             return
         if result.response.is_download:
             self._record_download(tab, final_url, result.response.body, source_url)
@@ -329,8 +382,8 @@ class Browser:
             )
             try:
                 result = self.internet.fetch(request)
-            except RedirectLoopError:
-                continue
+            except (RedirectLoopError, TransientError):
+                continue  # a lost banner frame doesn't kill the page
             self.log.append(
                 FrameLoadEntry(
                     timestamp=self.internet.clock.now(),
@@ -591,7 +644,7 @@ class _TabHost:
         )
         try:
             result = browser.internet.fetch(request)
-        except RedirectLoopError:
+        except (RedirectLoopError, TransientError):
             return
         if result.response.is_download:
             browser._record_download(tab, result.final_url, result.response.body, script_url)
@@ -610,7 +663,7 @@ class _TabHost:
         )
         try:
             browser.internet.fetch(request)
-        except RedirectLoopError:
+        except (RedirectLoopError, TransientError):
             return
         browser.log.append(
             BeaconEntry(

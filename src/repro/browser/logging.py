@@ -115,6 +115,21 @@ class DnsFailureEntry(LogEntry):
     url: str
 
 
+@dataclass(frozen=True)
+class FetchFailureEntry(LogEntry):
+    """A navigation lost to a transient fault the retry budget couldn't absorb."""
+
+    url: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class TabCrashEntry(LogEntry):
+    """A tab process that crashed at navigation launch and was not relaunched."""
+
+    url: str
+
+
 E = TypeVar("E", bound=LogEntry)
 
 

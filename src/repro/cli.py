@@ -16,6 +16,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 
@@ -55,6 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
         command.add_argument("--seed", type=int, default=7)
         command.add_argument("--days", type=float, default=2.0, help="milking days")
+        if name != "selfcheck":
+            command.add_argument(
+                "--fault-rate",
+                type=float,
+                default=0.0,
+                help="per-fetch transient-fault injection probability",
+            )
+            command.add_argument(
+                "--no-retries",
+                action="store_true",
+                help="disable the retry/resume machinery (degraded mode)",
+            )
         if name == "run":
             command.add_argument("--out", type=pathlib.Path, default=None)
             command.add_argument("--no-milking", action="store_true")
@@ -62,12 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_pipeline(args):
-    world = build_world(_PRESETS[args.preset](seed=args.seed))
+    config = _PRESETS[args.preset](seed=args.seed)
+    fault_rate = getattr(args, "fault_rate", 0.0)
+    if fault_rate:
+        config = dataclasses.replace(config, fault_rate=fault_rate)
+    world = build_world(config)
     pipeline = SeacmaPipeline(
         world,
         milking_config=MilkingConfig(
             duration_days=args.days, post_lookup_days=min(args.days, 12.0)
         ),
+        retries_enabled=not getattr(args, "no_retries", False),
     )
     with_milking = not getattr(args, "no_milking", False)
     result = pipeline.run(with_milking=with_milking)
@@ -137,6 +155,13 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"milking: {len(result.milking.domains)} domains, "
                 f"{len(result.milking.files)} files"
+            )
+        if result.fault_stats is not None:
+            print(f"faults: {result.fault_stats.summary()}")
+            print(
+                reports.render_table(
+                    reports.fault_health(result.fault_stats), "FAULT HEALTH"
+                )
             )
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)

@@ -117,6 +117,28 @@ class CrawlerConfig:
     session_seconds: float = 120.0
 
 
+def _visit_publisher(browser: Browser, internet: Internet, url: str) -> Tab:
+    """Visit the publisher, retrying launches lost to transient faults.
+
+    Only transient losses (tab crashes, exhausted fetch retries) are
+    retried, and only while the retry budget allows; dead hosts and HTTP
+    errors are final.
+    """
+    tab = browser.visit(url)
+    resilience = internet.resilience
+    attempt = 0
+    while (
+        not tab.loaded
+        and tab.failure in ("transient", "tab-crash")
+        and resilience is not None
+        and resilience.retry.should_retry(attempt)
+    ):
+        resilience.backoff(attempt, "publisher-visit", url)
+        attempt += 1
+        tab = browser.visit(url)
+    return tab
+
+
 def crawl_session(
     internet: Internet,
     publisher_url: str,
@@ -131,7 +153,7 @@ def crawl_session(
     interactions: list[AdInteraction] = []
     deadline = internet.clock.now() + config.session_seconds
 
-    tab = browser.visit(publisher_url)
+    tab = _visit_publisher(browser, internet, publisher_url)
     if not tab.loaded:
         return interactions
     publisher_domain = tab.current_url.host if tab.current_url else ""
@@ -163,7 +185,7 @@ def crawl_session(
                 )
                 # Re-open the browser tab on the publisher, §3.2.  The
                 # reload gets a fresh DOM, so re-rank its elements.
-                tab = browser.visit(publisher_url)
+                tab = _visit_publisher(browser, internet, publisher_url)
                 if not tab.loaded:
                     return interactions
                 candidates = clickable_candidates(tab.page.document)

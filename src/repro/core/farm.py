@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.browser.useragent import PROFILES, UserAgentProfile
 from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
 from repro.ecosystem.world import World
+from repro.errors import TabCrashError, TransientError
 
 
 @dataclass(frozen=True)
@@ -64,12 +65,31 @@ class CrawlDataset:
         return {record.landing_host for record in self.interactions if record.landing_host}
 
 
+@dataclass
+class CrawlCheckpoint:
+    """Durable progress of one farm crawl.
+
+    Captures the dataset accumulated so far plus which (domain, profile)
+    sessions finished, so a crawl interrupted mid-flight resumes where it
+    stopped and loses at most the one in-flight session.  ``laptop_index``
+    preserves the residential-laptop rotation across the restart.
+    """
+
+    dataset: CrawlDataset
+    completed_sessions: set[tuple[str, str]] = field(default_factory=set)
+    completed_domains: set[str] = field(default_factory=set)
+    laptop_index: int = 0
+
+
 class CrawlerFarm:
     """Runs the full crawl over a world's publisher population."""
 
     def __init__(self, world: World, config: FarmConfig | None = None) -> None:
         self.world = world
         self.config = config if config is not None else FarmConfig()
+        #: Progress of the current/last :meth:`crawl` call; pass it back
+        #: in to resume after a crash.
+        self.checkpoint: CrawlCheckpoint | None = None
 
     def split_publisher_groups(self, domains: list[str]) -> tuple[list[str], list[str]]:
         """Split crawl targets into (institutional, residential) groups.
@@ -91,11 +111,23 @@ class CrawlerFarm:
                 institutional.append(domain)
         return institutional, residential
 
-    def crawl(self, publisher_domains: list[str]) -> CrawlDataset:
-        """Crawl every listed publisher with every UA profile."""
+    def crawl(
+        self,
+        publisher_domains: list[str],
+        checkpoint: CrawlCheckpoint | None = None,
+    ) -> CrawlDataset:
+        """Crawl every listed publisher with every UA profile.
+
+        Progress is checkpointed after every completed session into
+        :attr:`checkpoint`; pass a previous crawl's checkpoint back in to
+        skip the work it already finished (crash recovery).
+        """
         world = self.world
         config = self.config
-        dataset = CrawlDataset(started_at=world.clock.now())
+        if checkpoint is None:
+            checkpoint = CrawlCheckpoint(dataset=CrawlDataset(started_at=world.clock.now()))
+        self.checkpoint = checkpoint
+        dataset = checkpoint.dataset
         institutional, residential = self.split_publisher_groups(publisher_domains)
         # §4.1: the residential laptops only got through a fraction.
         residential_cap = int(len(residential) * config.residential_visit_fraction)
@@ -105,10 +137,14 @@ class CrawlerFarm:
         total_sessions = len(plan) * len(config.profiles)
         time_step = self._time_step(total_sessions)
 
-        laptop_index = 0
+        laptop_index = checkpoint.laptop_index
         for domain, is_residential in plan:
-            triggered_any = False
+            if domain in checkpoint.completed_domains:
+                continue
             for profile in config.profiles:
+                key = (domain, profile.name)
+                if key in checkpoint.completed_sessions:
+                    continue
                 if is_residential:
                     vantage = world.vantages_residential[
                         laptop_index % len(world.vantages_residential)
@@ -116,30 +152,67 @@ class CrawlerFarm:
                     laptop_index += 1
                 else:
                     vantage = world.vantage_institution
-                interactions = crawl_session(
-                    world.internet,
-                    f"http://{domain}/",
-                    profile,
-                    vantage,
-                    config.crawler,
-                )
+                interactions = self._run_session(domain, profile, vantage)
                 dataset.sessions += 1
                 dataset.interactions.extend(interactions)
-                if interactions:
-                    triggered_any = True
                 for record in interactions:
                     if record.landing_e2ld:
                         dataset.landing_click_counts[record.landing_e2ld] += 1
                 world.clock.advance(time_step)
+                checkpoint.completed_sessions.add(key)
+                checkpoint.laptop_index = laptop_index
             dataset.publishers_visited += 1
             if is_residential:
                 dataset.publishers_residential += 1
             else:
                 dataset.publishers_institutional += 1
-            if triggered_any:
+            # Derived from the dataset (not a loop-local flag) so a domain
+            # resumed mid-way still counts its pre-crash interactions.
+            if any(record.publisher_domain == domain for record in dataset.interactions):
                 dataset.publishers_with_ads.add(domain)
+            checkpoint.completed_domains.add(domain)
         dataset.finished_at = world.clock.now()
         return dataset
+
+    def _run_session(
+        self, domain: str, profile: UserAgentProfile, vantage
+    ) -> list[AdInteraction]:
+        """Run one crawl session, surviving injected container crashes."""
+        world = self.world
+        internet = world.internet
+        fault_plan = internet.fault_plan
+        resilience = internet.resilience
+        stats = internet.fault_stats
+        if fault_plan is not None:
+            try:
+                fault_plan.session_crash(domain, profile.name)
+            except TabCrashError:
+                if stats is not None:
+                    stats.sessions_crashed += 1
+                if resilience is None or not resilience.retry.should_retry(0):
+                    if stats is not None:
+                        stats.sessions_lost += 1
+                    return []
+                # Restart the container: the crash fired before any request,
+                # so the restarted session replays the world exactly.
+                resilience.backoff(0, "session", domain, profile.name)
+                if stats is not None:
+                    stats.sessions_resumed += 1
+        try:
+            return crawl_session(
+                internet,
+                f"http://{domain}/",
+                profile,
+                vantage,
+                self.config.crawler,
+            )
+        except TransientError:
+            # Safety net: an unabsorbed fault killed the container
+            # mid-session.  Its interactions are lost — at most one session.
+            if stats is not None:
+                stats.sessions_crashed += 1
+                stats.sessions_lost += 1
+            return []
 
     def _time_step(self, total_sessions: int) -> float:
         config = self.config

@@ -52,6 +52,11 @@ class MilkingConfig:
     final_lookup_extra_days: float = 60.0
     vt_rescan_days: float = 90.0
     interact_with_pages: bool = True
+    #: Reschedule a failed milk attempt between rounds instead of waiting
+    #: a whole interval (transient-fault resilience).
+    retry_failed_sources: bool = True
+    retry_delay_minutes: float = 3.0
+    max_retries_per_round: int = 2
 
 
 @dataclass
@@ -243,8 +248,10 @@ class MilkingTracker:
 
         def milk_round(now: float) -> None:
             for source in self.sources:
-                if source.active:
-                    self._milk_once(source, report, watchlist, config)
+                if source.active and not self._milk_once(source, report, watchlist, config):
+                    self._schedule_retry(
+                        scheduler, source, report, watchlist, config, milk_end, attempt=0
+                    )
 
         def gsb_round(now: float) -> None:
             for domain, record in watchlist.items():
@@ -287,13 +294,49 @@ class MilkingTracker:
 
     # ----------------------------------------------------------- internals
 
+    def _schedule_retry(
+        self,
+        scheduler: EventScheduler,
+        source: MilkingSource,
+        report: MilkingReport,
+        watchlist: dict[str, MilkedDomain],
+        config: MilkingConfig,
+        milk_end: float,
+        attempt: int,
+    ) -> None:
+        """Reschedule a failed milk attempt instead of dropping the round.
+
+        Retries back off exponentially from ``retry_delay_minutes``, stop
+        after ``max_retries_per_round`` and never fire past the milking
+        window; a 20-failure streak still deactivates the source.
+        """
+        if not config.retry_failed_sources or attempt >= config.max_retries_per_round:
+            return
+        delay = config.retry_delay_minutes * MINUTE * (2.0**attempt)
+        if scheduler.clock.now() + delay > milk_end:
+            return
+        stats = self.internet.fault_stats
+        if stats is not None:
+            stats.milk_reschedules += 1
+
+        def retry(now: float) -> None:
+            if not source.active:
+                return
+            if not self._milk_once(source, report, watchlist, config):
+                self._schedule_retry(
+                    scheduler, source, report, watchlist, config, milk_end, attempt + 1
+                )
+
+        scheduler.schedule_after(delay, retry)
+
     def _milk_once(
         self,
         source: MilkingSource,
         report: MilkingReport,
         watchlist: dict[str, MilkedDomain],
         config: MilkingConfig,
-    ) -> None:
+    ) -> bool:
+        """One milk attempt; returns whether the source's page loaded."""
         clock = self.internet.clock
         client = self._client(source.ua_name)
         tab = client.navigate(source.url)
@@ -303,12 +346,12 @@ class MilkingTracker:
             source.failures += 1
             if source.failures >= 20:
                 source.active = False  # the upstream URL itself died
-            return
+            return False
         source.failures = 0
         shot = client.screenshot(tab)
         shot_hash = dhash128(shot.image)
         if not matches_any(shot_hash, source.known_hashes):
-            return  # the source drifted away from the campaign
+            return True  # loaded, but drifted away from the campaign
         source.known_hashes.add(shot_hash)
         host = tab.current_url.host
         domain = e2ld(host)
@@ -324,6 +367,7 @@ class MilkingTracker:
             report.domains.append(record)
         if config.interact_with_pages:
             self._interact(client, tab, source, report)
+        return True
 
     def _interact(self, client, tab, source: MilkingSource, report: MilkingReport) -> None:
         """Simple page interaction: click the dominant element, collect

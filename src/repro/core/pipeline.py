@@ -34,6 +34,8 @@ from repro.core.seeds import (
     reverse_to_publishers,
 )
 from repro.ecosystem.world import World
+from repro.faults.retry import Resilience, RetryPolicy
+from repro.faults.stats import FaultStats
 
 
 @dataclass
@@ -48,6 +50,9 @@ class PipelineResult:
     new_patterns: list[InvariantPattern] = field(default_factory=list)
     expanded_publishers: list[str] = field(default_factory=list)
     milking: MilkingReport | None = None
+    #: Injected-fault and recovery counters (None when the world has no
+    #: fault plan and no retry machinery was requested).
+    fault_stats: FaultStats | None = None
 
 
 class SeacmaPipeline:
@@ -61,6 +66,8 @@ class SeacmaPipeline:
         eps: float = 0.1,
         min_pts: int = 3,
         theta_c: int = 5,
+        retries_enabled: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.world = world
         self.farm_config = farm_config if farm_config is not None else FarmConfig()
@@ -70,6 +77,37 @@ class SeacmaPipeline:
         self.eps = eps
         self.min_pts = min_pts
         self.theta_c = theta_c
+        self.retries_enabled = retries_enabled
+        self.retry_policy = retry_policy
+        self._ensure_resilience()
+
+    def _ensure_resilience(self) -> None:
+        """Attach the recovery bundle to the world's internet when needed.
+
+        Resilience is attached whenever the world injects faults or the
+        caller asked for a specific retry policy; with retries disabled a
+        never-retry policy is attached so every injected fault is felt
+        (the degraded-mode experiment) while stats stay observable.
+        """
+        internet = self.world.internet
+        if internet.fault_plan is None and self.retry_policy is None:
+            return
+        if internet.resilience is not None:
+            return
+        if not self.retries_enabled:
+            policy = RetryPolicy.disabled()
+        elif self.retry_policy is not None:
+            policy = self.retry_policy
+        else:
+            policy = RetryPolicy(seed=self.world.config.seed)
+        stats = (
+            internet.fault_plan.stats
+            if internet.fault_plan is not None
+            else FaultStats()
+        )
+        internet.resilience = Resilience(
+            retry=policy, clock=self.world.clock, stats=stats
+        )
 
     # ------------------------------------------------------------- stages
 
@@ -130,4 +168,5 @@ class SeacmaPipeline:
         )
         if with_milking:
             result.milking = self.milk(result.discovery)
+        result.fault_stats = self.world.internet.fault_stats
         return result

@@ -19,6 +19,7 @@ from repro.core.farm import CrawlDataset
 from repro.core.milking import MilkingReport
 from repro.ecosystem.gsb import GoogleSafeBrowsing
 from repro.ecosystem.webpulse import WebPulse
+from repro.faults.stats import FaultStats
 
 
 # --------------------------------------------------------------- Table 1
@@ -202,6 +203,41 @@ def table4(report: MilkingReport) -> list[Table4Row]:
             gsb_final_pct=100.0 * report.gsb_final_rate(),
         )
     )
+    return rows
+
+
+# ----------------------------------------------------- fault health report
+
+
+@dataclass(frozen=True)
+class FaultHealthRow:
+    """One counter of the fault-injection / recovery health report."""
+
+    counter: str
+    count: int
+
+
+def fault_health(stats: FaultStats) -> list[FaultHealthRow]:
+    """Render-ready rows for every fault and recovery counter.
+
+    Per-kind injection counts come first (sorted by kind name), followed
+    by the recovery-machinery counters, so a glance shows both what the
+    world threw at the pipeline and what the pipeline absorbed.
+    """
+    rows = [
+        FaultHealthRow(counter=f"injected {kind}", count=count)
+        for kind, count in sorted(stats.injected.items())
+    ]
+    rows.append(FaultHealthRow("faults injected (total)", stats.faults_injected))
+    rows.append(FaultHealthRow("fetch retries", stats.retries))
+    rows.append(FaultHealthRow("fetches recovered", stats.recovered_fetches))
+    rows.append(FaultHealthRow("fetches failed", stats.failed_fetches))
+    rows.append(FaultHealthRow("breaker trips", stats.breaker_trips))
+    rows.append(FaultHealthRow("breaker fast-fails", stats.breaker_fast_fails))
+    rows.append(FaultHealthRow("sessions crashed", stats.sessions_crashed))
+    rows.append(FaultHealthRow("sessions resumed", stats.sessions_resumed))
+    rows.append(FaultHealthRow("sessions lost", stats.sessions_lost))
+    rows.append(FaultHealthRow("milk retries scheduled", stats.milk_reschedules))
     return rows
 
 

@@ -35,6 +35,7 @@ from repro.ecosystem.publisher import PublisherDirectory, PublisherSite
 from repro.ecosystem.virustotal import VirusTotal
 from repro.ecosystem.webpulse import WebPulse, sample_category
 from repro.errors import WorldConfigError
+from repro.faults.plan import FaultConfig, FaultPlan
 from repro.net.ipspace import VantagePoint, institution_vantage, residential_vantages
 from repro.net.network import Internet
 from repro.rng import rng_for, weighted_choice
@@ -72,6 +73,10 @@ class WorldConfig:
     #: Fraction of impressions each network resells to partner exchanges
     #: (§3.5's ad-exchange/syndication complication; 0 disables).
     syndication_prob: float = 0.1
+    #: Per-fetch probability of an injected transient infrastructure
+    #: fault (DNS timeouts, connection timeouts, 5xx, slow/truncated
+    #: responses, tab/session crashes); 0 disables fault injection.
+    fault_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_publishers < 1 or self.n_campaigns < 6:
@@ -88,6 +93,8 @@ class WorldConfig:
             raise WorldConfigError("invalid networks_per_campaign range")
         if not 0.0 <= self.syndication_prob <= 1.0:
             raise WorldConfigError("syndication_prob must be in [0, 1]")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise WorldConfigError("fault_rate must be in [0, 1)")
 
     @property
     def resolved_new_publishers(self) -> int:
@@ -135,7 +142,12 @@ class World:
     def __init__(self, config: WorldConfig) -> None:
         self.config = config
         self.clock = SimClock()
-        self.internet = Internet(self.clock)
+        fault_plan = None
+        if config.fault_rate > 0.0:
+            fault_plan = FaultPlan(
+                FaultConfig.at_rate(config.fault_rate), seed=config.seed
+            )
+        self.internet = Internet(self.clock, fault_plan=fault_plan)
         self.vantage_institution: VantagePoint = institution_vantage(config.seed)
         self.vantages_residential: list[VantagePoint] = residential_vantages(config.seed)
         self.benign: BenignWeb = BenignWeb(

@@ -28,6 +28,47 @@ class FetchError(ReproError):
     """Raised when a simulated HTTP fetch fails below the HTTP layer."""
 
 
+class TransientError(ReproError):
+    """Base class for retryable infrastructure failures.
+
+    Transient failures (timeouts, overloaded servers, crashed tabs) are
+    expected to clear on retry, unlike permanent ones such as NXDOMAIN
+    (:class:`DnsError`); the retry machinery in :mod:`repro.faults`
+    retries exactly this class and nothing else.
+    """
+
+
+class DnsTimeoutError(TransientError):
+    """Raised when a DNS lookup times out (the resolver, not NXDOMAIN)."""
+
+    def __init__(self, host: str, timeout_seconds: float = 0.0) -> None:
+        self.host = host
+        self.timeout_seconds = timeout_seconds
+        super().__init__(f"DNS lookup for {host!r} timed out")
+
+
+class ServerUnavailableError(TransientError):
+    """Raised when a server cannot be reached or answers uselessly
+    (connection timeout, 5xx before the application, truncated body)."""
+
+    def __init__(self, host: str, reason: str = "connection timed out") -> None:
+        self.host = host
+        self.reason = reason
+        super().__init__(f"server {host!r} unavailable: {reason}")
+
+
+class TabCrashError(TransientError):
+    """Raised when a browser tab (or a whole crawl-session container)
+    crashes before completing its work."""
+
+    def __init__(self, detail: str = "") -> None:
+        self.detail = detail
+        message = "browser tab crashed"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class RedirectLoopError(FetchError):
     """Raised when a redirect chain exceeds the browser's hop limit."""
 

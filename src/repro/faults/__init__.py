@@ -1,0 +1,49 @@
+"""Deterministic fault injection and resilience primitives.
+
+The real measurement system only produced trustworthy numbers because its
+crawler farm and 15-minute milker survived the open web's failure modes:
+crashed tabs, slow ad servers, NXDOMAINs from already-rotated throw-away
+domains (§3.2, §4.1).  This package reproduces that operating environment
+on the simulated internet:
+
+* :class:`FaultPlan` — a seeded, deterministic schedule of transient DNS
+  timeouts, connection timeouts, 5xx/slow/truncated responses, and
+  browser/tab crashes, injected at the :class:`~repro.net.network.Internet`
+  fetch layer and the :mod:`repro.browser` navigation layer;
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  capped by attempt and virtual-time budgets;
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` — per-host breakers
+  that fast-fail hosts which keep failing (dead attack domains included);
+* :class:`Resilience` — the bundle (policy + breakers + stats) shared by
+  the crawler, the farm and the milking tracker;
+* :class:`FaultStats` — the health report counting every injected fault
+  and every recovery action, so degraded runs are visible, not silent.
+
+Faults are injected *before* a virtual server handles a request, so a
+retried fetch replays only the failed attempt: with an adequate retry
+budget a faulty world yields the same measurement results as a fault-free
+one, which is exactly the graceful-degradation property the tests assert.
+"""
+
+from repro.faults.plan import FaultConfig, FaultEvent, FaultKind, FaultPlan
+from repro.faults.retry import (
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+    Resilience,
+    RetryPolicy,
+)
+from repro.faults.stats import FaultStats
+
+__all__ = [
+    "BreakerRegistry",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "Resilience",
+    "RetryPolicy",
+]

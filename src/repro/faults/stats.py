@@ -1,0 +1,79 @@
+"""Fault and recovery accounting.
+
+One :class:`FaultStats` instance is shared by the fault plan (which counts
+injections) and the resilience layer (which counts recoveries), so a single
+health report describes how degraded a run was and how much of the damage
+the retry/breaker machinery absorbed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultStats:
+    """Counters for every injected fault and every recovery action."""
+
+    #: Injected fault events by :class:`~repro.faults.plan.FaultKind` value.
+    injected: Counter = field(default_factory=Counter)
+    #: Backoff-and-retry attempts performed (fetch hops and tab relaunches).
+    retries: int = 0
+    #: Fetch hops that succeeded only after at least one retry.
+    recovered_fetches: int = 0
+    #: Fetch hops surfaced as failures after the retry budget ran out.
+    failed_fetches: int = 0
+    #: Circuit breakers that moved to the open state.
+    breaker_trips: int = 0
+    #: Requests answered instantly from an open breaker (no DNS, no server).
+    breaker_fast_fails: int = 0
+    #: Crawl sessions whose container crashed at launch.
+    sessions_crashed: int = 0
+    #: Crashed sessions re-run by a replacement container.
+    sessions_resumed: int = 0
+    #: Crashed sessions dropped because retries were disabled.
+    sessions_lost: int = 0
+    #: Failed milk attempts rescheduled instead of waiting a full round.
+    milk_reschedules: int = 0
+    #: Virtual seconds containers spent waiting on faults and backoffs.
+    #: Accounted here rather than advanced on the world clock: a stalled
+    #: container doesn't stall the (parallel) experiment.
+    delay_seconds: float = 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected fault events across all kinds."""
+        return sum(self.injected.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fault survived past the recovery machinery."""
+        return bool(self.failed_fetches or self.sessions_lost)
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat counter view (health report / JSON export)."""
+        flat = {f"injected.{kind}": count for kind, count in sorted(self.injected.items())}
+        flat.update(
+            faults_injected=self.faults_injected,
+            retries=self.retries,
+            recovered_fetches=self.recovered_fetches,
+            failed_fetches=self.failed_fetches,
+            breaker_trips=self.breaker_trips,
+            breaker_fast_fails=self.breaker_fast_fails,
+            sessions_crashed=self.sessions_crashed,
+            sessions_resumed=self.sessions_resumed,
+            sessions_lost=self.sessions_lost,
+            milk_reschedules=self.milk_reschedules,
+            delay_seconds=round(self.delay_seconds, 3),
+        )
+        return flat
+
+    def summary(self) -> str:
+        """One-line health summary for CLI output."""
+        return (
+            f"{self.faults_injected} faults injected, {self.retries} retries "
+            f"({self.recovered_fetches} fetches recovered, {self.failed_fetches} lost), "
+            f"{self.breaker_trips} breaker trips, "
+            f"{self.sessions_resumed}/{self.sessions_crashed} crashed sessions resumed"
+        )

@@ -10,13 +10,20 @@ JS navigation) are handled by :mod:`repro.browser`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.clock import SimClock
-from repro.errors import DnsError, RedirectLoopError, UrlError
+from repro.errors import DnsError, FetchError, RedirectLoopError, UrlError
+from repro.faults.plan import FaultKind
 from repro.net.dns import DnsRegistry
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import FetchContext, VirtualServer
 from repro.urlkit.url import Url
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import Resilience
+    from repro.faults.stats import FaultStats
 
 MAX_REDIRECT_HOPS = 20
 
@@ -27,26 +34,47 @@ class FetchResult:
 
     ``chain`` lists every URL visited, starting with the requested URL and
     ending with the URL that produced ``response`` (or the URL whose host
-    failed to resolve, for DNS failures).
+    failed to resolve, for DNS failures).  ``retries`` counts the backoff
+    retries absorbed by injected transient faults along the chain.
     """
 
     response: HttpResponse
     chain: list[Url] = field(default_factory=list)
     dns_failure: bool = False
+    retries: int = 0
 
     @property
     def final_url(self) -> Url:
         """The last URL in the redirect chain."""
+        if not self.chain:
+            raise FetchError("fetch result has an empty redirect chain (no URL was ever requested)")
         return self.chain[-1]
 
 
 class Internet:
-    """Routes simulated HTTP requests to virtual servers."""
+    """Routes simulated HTTP requests to virtual servers.
 
-    def __init__(self, clock: SimClock) -> None:
+    ``fault_plan`` (when set) injects deterministic transient faults into
+    every fetch hop *before* the target server runs; ``resilience`` (when
+    set) absorbs those faults with per-hop retries and per-host circuit
+    breakers.  With neither attached the happy path is unchanged.
+    """
+
+    def __init__(self, clock: SimClock, fault_plan: "FaultPlan | None" = None) -> None:
         self.clock = clock
         self.dns = DnsRegistry()
+        self.fault_plan = fault_plan
+        self.resilience: "Resilience | None" = None
         self._fetch_count = 0
+
+    @property
+    def fault_stats(self) -> "FaultStats | None":
+        """The shared fault/recovery counters, if any machinery is attached."""
+        if self.resilience is not None:
+            return self.resilience.stats
+        if self.fault_plan is not None:
+            return self.fault_plan.stats
+        return None
 
     @property
     def fetch_count(self) -> int:
@@ -66,32 +94,35 @@ class Internet:
 
         DNS failures are reported in-band (``dns_failure=True`` with a
         synthetic 502 response) because the real crawler also records dead
-        attack domains rather than crashing on them.
+        attack domains rather than crashing on them.  Injected transient
+        faults are retried per hop when ``resilience`` is attached; once
+        the retry budget runs out the typed
+        :class:`~repro.errors.TransientError` escapes to the caller.
         """
         context = FetchContext(clock=self.clock, internet=self)
         chain: list[Url] = []
+        retries = 0
         current = request
         for _ in range(MAX_REDIRECT_HOPS):
             chain.append(current.url)
             self._fetch_count += 1
-            try:
-                server = self.dns.resolve(current.url.host, self.clock.now())
-            except DnsError:
+            response, dns_failed, hop_retries = self._serve_hop(current, context)
+            retries += hop_retries
+            if dns_failed:
                 return FetchResult(
-                    response=HttpResponse(status=502, body=None),
-                    chain=chain,
-                    dns_failure=True,
+                    response=response, chain=chain, dns_failure=True, retries=retries
                 )
-            response = server.handle(current, context)
             if not response.is_redirect:
-                return FetchResult(response=response, chain=chain)
+                return FetchResult(response=response, chain=chain, retries=retries)
             try:
                 target = response.location
             except UrlError:
                 # A server emitted a garbage Location header; surface it
                 # as a server error rather than crashing the crawler.
                 return FetchResult(
-                    response=HttpResponse(status=502, body=None), chain=chain
+                    response=HttpResponse(status=502, body=None),
+                    chain=chain,
+                    retries=retries,
                 )
             # HTTP 303 forces GET; 307/308 preserve the method.
             method = current.method if response.status in (307, 308) else "GET"
@@ -104,6 +135,67 @@ class Internet:
                 headers=dict(current.headers),
             )
         raise RedirectLoopError(str(request.url), MAX_REDIRECT_HOPS)
+
+    def _serve_hop(
+        self, request: HttpRequest, context: FetchContext
+    ) -> tuple[HttpResponse, bool, int]:
+        """Serve one redirect hop with fault injection, retries and breakers.
+
+        Returns ``(response, dns_failed, retries)``.  Faults fire *before*
+        DNS resolution and the server handler, so a retried hop replays
+        only the failed transport attempt — the server's stateful decision
+        logic (ad selection, syndication) runs exactly once per delivered
+        response, faulty world or not.
+        """
+        host = request.url.host
+        resilience = self.resilience
+        breaker = resilience.breakers.for_host(host) if resilience is not None else None
+        if breaker is not None and not breaker.allow(self.clock.now()):
+            # Fast-fail mirrors the outcome that tripped the breaker so
+            # consumers see the same failure shape as a real attempt.
+            resilience.stats.breaker_fast_fails += 1
+            if breaker.last_failure_kind == "dns":
+                return HttpResponse(status=502, body=None), True, 0
+            return HttpResponse(status=503, body=None), False, 0
+        event = self.fault_plan.fetch_fault(host) if self.fault_plan is not None else None
+        stats = self.fault_stats
+        attempt = 0
+        spent = 0.0
+        if event is not None and event.kind is FaultKind.SLOW_RESPONSE:
+            if stats is not None:
+                stats.delay_seconds += event.delay  # slow but successful transfer
+            event = None
+        while event is not None and attempt < event.burst:
+            # The container waits out the timeout; the wait is accounted,
+            # not advanced on the world clock (parallel containers).
+            spent += event.delay
+            if stats is not None:
+                stats.delay_seconds += event.delay
+            if resilience is not None and resilience.retry.should_retry(attempt, spent):
+                spent += resilience.backoff(attempt, "fetch", host)
+                attempt += 1
+                continue
+            if stats is not None:
+                stats.failed_fetches += 1
+            if breaker is not None and breaker.record_failure("transient", self.clock.now()):
+                resilience.stats.breaker_trips += 1
+            raise event.to_error(host)
+        try:
+            server = self.dns.resolve(host, self.clock.now())
+        except DnsError:
+            if breaker is not None and breaker.record_failure("dns", self.clock.now()):
+                resilience.stats.breaker_trips += 1
+            return HttpResponse(status=502, body=None), True, attempt
+        response = server.handle(request, context)
+        if breaker is not None:
+            if response.status >= 500:
+                if breaker.record_failure("server", self.clock.now()):
+                    resilience.stats.breaker_trips += 1
+            else:
+                breaker.record_success()
+        if attempt > 0 and stats is not None:
+            stats.recovered_fetches += 1
+        return response, False, attempt
 
     def host_alive(self, host: str) -> bool:
         """Whether ``host`` currently resolves."""

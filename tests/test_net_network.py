@@ -136,6 +136,15 @@ class TestInternet:
         assert result.dns_failure
         assert result.response.status == 502
 
+    def test_final_url_on_empty_chain_raises_descriptive_error(self):
+        from repro.errors import FetchError
+        from repro.net.http import HttpResponse
+        from repro.net.network import FetchResult
+
+        result = FetchResult(response=HttpResponse(status=200, body=None), chain=[])
+        with pytest.raises(FetchError, match="empty redirect chain"):
+            result.final_url
+
     def test_dns_failure_mid_chain(self):
         net = self.make_internet()
         net.register("a.com", FunctionServer(lambda r, c: redirect("http://dead.club/")))
