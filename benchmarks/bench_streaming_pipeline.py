@@ -1,0 +1,97 @@
+"""Batch vs streaming pipeline: wall-clock and memory footprint.
+
+Runs the same mid-size world through ``SeacmaPipeline.run()`` and
+``SeacmaPipeline.run_streaming()`` and compares wall-clock time and peak
+Python-heap usage (tracemalloc), checking along the way that both modes
+produce the same campaigns and milked domains.  The numbers are written
+to ``results/BENCH_streaming.json`` so runs can be diffed over time;
+``process_peak_rss_kb`` records the process high-water RSS for context
+(it is cumulative across both modes, not per-mode).
+"""
+
+import json
+import pathlib
+import resource
+import time
+import tracemalloc
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core.milking import MilkingConfig
+from repro.store import MemoryStore
+
+STREAM_BENCH_CONFIG = WorldConfig(
+    seed=9,
+    n_publishers=150,
+    n_campaigns=10,
+    crawl_window_days=1.0,
+    max_code_domains=30,
+    n_advertisers=40,
+)
+
+STREAM_MILKING = MilkingConfig(duration_days=2.0, post_lookup_days=2.0)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def measure(mode: str, batch_domains: int = 5) -> dict:
+    """One full pipeline run in the given mode, with its own metrics."""
+    world = build_world(STREAM_BENCH_CONFIG)
+    pipeline = SeacmaPipeline(world, milking_config=STREAM_MILKING)
+    tracemalloc.start()
+    started = time.perf_counter()
+    if mode == "batch":
+        result = pipeline.run()
+    else:
+        result = pipeline.run_streaming(
+            store=MemoryStore(), batch_domains=batch_domains
+        )
+    wall_seconds = time.perf_counter() - started
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "mode": mode,
+        "wall_seconds": round(wall_seconds, 3),
+        "peak_heap_mb": round(peak_bytes / 2**20, 2),
+        "interactions": len(result.crawl.interactions),
+        "se_campaigns": len(result.discovery.seacma_campaigns),
+        "milked_domains": len(result.milking.domains),
+    }
+
+
+def test_streaming_vs_batch(benchmark, save_artifact):
+    batch = measure("batch")
+    streaming = benchmark.pedantic(
+        lambda: measure("stream"), rounds=1, iterations=1
+    )
+    # Same science out of both modes.
+    assert streaming["interactions"] == batch["interactions"]
+    assert streaming["se_campaigns"] == batch["se_campaigns"]
+    assert streaming["milked_domains"] == batch["milked_domains"]
+    payload = {
+        "benchmark": "streaming_pipeline",
+        "world": {
+            "publishers": STREAM_BENCH_CONFIG.n_publishers,
+            "campaigns": STREAM_BENCH_CONFIG.n_campaigns,
+            "seed": STREAM_BENCH_CONFIG.seed,
+        },
+        "batch": batch,
+        "streaming": streaming,
+        "streaming_overhead_ratio": round(
+            streaming["wall_seconds"] / batch["wall_seconds"], 3
+        ),
+        "process_peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_streaming.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_artifact(
+        "streaming_pipeline",
+        "\n".join(
+            f"{run['mode']:>9}: {run['wall_seconds']:.2f}s wall, "
+            f"{run['peak_heap_mb']:.1f} MiB peak heap, "
+            f"{run['se_campaigns']} SE campaigns, "
+            f"{run['milked_domains']} milked domains"
+            for run in (batch, streaming)
+        ),
+    )

@@ -163,10 +163,9 @@ class Browser:
 
     def click(self, tab: Tab, element: Element) -> ClickOutcome:
         """Dispatch a click (or tap) on ``element`` and report the effects."""
-        if not tab.loaded:
-            raise BrowserError("cannot click in a tab with no page")
         page = tab.page
-        assert page is not None
+        if not tab.loaded or page is None:
+            raise BrowserError("cannot click in a tab with no page")
         # A transparent full-page overlay (Figure 1) sits on top of
         # everything: a click aimed at any element actually hits it.
         from repro.dom.render import full_page_overlays
@@ -210,9 +209,8 @@ class Browser:
         """Click the largest image/iframe on the page (crawler shortcut)."""
         from repro.dom.render import clickable_candidates
 
-        if not tab.loaded:
+        if not tab.loaded or tab.page is None:
             raise BrowserError("tab has no page")
-        assert tab.page is not None
         candidates = clickable_candidates(tab.page.document)
         if not candidates:
             raise NoSuchElementError("no clickable candidates on page")

@@ -7,10 +7,17 @@ and exported datasets.
 Subcommands::
 
     seacma run       --preset tiny --seed 7 --days 2 [--out DIR]
-    seacma tables    --preset tiny --seed 7 --days 2
+                     [--stream --store-dir DIR [--batch-domains N]]
+    seacma resume    STORE_DIR --days 2
+    seacma tables    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma feeds     --preset tiny --seed 7 --days 2
-    seacma report    --preset tiny --seed 7 --days 2
+    seacma report    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma selfcheck --preset small
+
+``run --stream`` persists the run into a store directory as it goes;
+``resume`` continues a run whose process died mid-crawl; ``tables`` and
+``report`` with ``--from-store`` regenerate their output offline from a
+stored run without re-crawling anything.
 """
 
 from __future__ import annotations
@@ -71,6 +78,37 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "run":
             command.add_argument("--out", type=pathlib.Path, default=None)
             command.add_argument("--no-milking", action="store_true")
+            command.add_argument(
+                "--stream",
+                action="store_true",
+                help="run the streaming pipeline (incremental stages)",
+            )
+            command.add_argument(
+                "--store-dir",
+                type=pathlib.Path,
+                default=None,
+                help="persist the streaming run into this directory",
+            )
+            command.add_argument(
+                "--batch-domains",
+                type=int,
+                default=1,
+                help="finished domains per analysis-stage ingest",
+            )
+        if name in ("tables", "report"):
+            command.add_argument(
+                "--from-store",
+                type=pathlib.Path,
+                default=None,
+                help="regenerate offline from a stored run (skips the crawl)",
+            )
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted streaming run from its store"
+    )
+    resume.add_argument("store_dir", type=pathlib.Path)
+    resume.add_argument("--days", type=float, default=2.0, help="milking days")
+    resume.add_argument("--no-milking", action="store_true")
+    resume.add_argument("--batch-domains", type=int, default=1)
     return parser
 
 
@@ -82,14 +120,58 @@ def _run_pipeline(args):
     world = build_world(config)
     pipeline = SeacmaPipeline(
         world,
-        milking_config=MilkingConfig(
-            duration_days=args.days, post_lookup_days=min(args.days, 12.0)
-        ),
+        milking_config=_milking_config(args),
         retries_enabled=not getattr(args, "no_retries", False),
     )
     with_milking = not getattr(args, "no_milking", False)
-    result = pipeline.run(with_milking=with_milking)
+    if getattr(args, "stream", False):
+        store = None
+        if args.store_dir is not None:
+            from repro.store import JsonlStore
+
+            store = JsonlStore(args.store_dir, run_id=f"{args.preset}-{args.seed}")
+        result = pipeline.run_streaming(
+            store=store,
+            with_milking=with_milking,
+            batch_domains=args.batch_domains,
+        )
+    else:
+        result = pipeline.run(with_milking=with_milking)
     return world, result
+
+
+def _milking_config(args) -> MilkingConfig:
+    return MilkingConfig(
+        duration_days=args.days, post_lookup_days=min(args.days, 12.0)
+    )
+
+
+def _resume(args) -> int:
+    from repro.store import JsonlStore
+    from repro.store.persist import load_world
+
+    store = JsonlStore.open(args.store_dir)
+    world = load_world(store)
+    pipeline = SeacmaPipeline(world, milking_config=_milking_config(args))
+    result = pipeline.resume_streaming(
+        store,
+        with_milking=not args.no_milking,
+        batch_domains=args.batch_domains,
+    )
+    print(
+        f"resumed run {store.run_id}: {result.crawl.publishers_visited} publishers "
+        f"crawled in total, {len(result.crawl.interactions)} ads, "
+        f"{len(result.discovery.seacma_campaigns)} SEACMA campaigns"
+    )
+    return 0
+
+
+def _load_stored(path):
+    from repro.store import JsonlStore
+    from repro.store.persist import load_result, load_world
+
+    store = JsonlStore.open(path)
+    return load_world(store), load_result(store)
 
 
 def _print_tables(world, result, out=print) -> None:
@@ -124,6 +206,8 @@ def _print_feeds(world, result, out=print) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.command == "resume":
+        return _resume(args)
     if args.command == "selfcheck":
         world = build_world(_PRESETS[args.preset](seed=args.seed))
         issues = world.self_check()
@@ -136,7 +220,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(world.campaigns)} campaigns, {len(world.networks)} networks"
         )
         return 0
-    world, result = _run_pipeline(args)
+    if getattr(args, "from_store", None) is not None:
+        world, result = _load_stored(args.from_store)
+    else:
+        world, result = _run_pipeline(args)
     if args.command == "tables":
         _print_tables(world, result)
     elif args.command == "feeds":
@@ -151,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(result.crawl.interactions)} ads, "
             f"{len(result.discovery.seacma_campaigns)} SEACMA campaigns"
         )
+        if args.stream and args.store_dir is not None:
+            print(f"run store written to {args.store_dir}/")
         if result.milking is not None:
             print(
                 f"milking: {len(result.milking.domains)} domains, "

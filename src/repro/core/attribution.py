@@ -14,6 +14,7 @@ from __future__ import annotations
 import re
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.adnet.spec import ALL_NETWORK_SPECS
 from repro.core.crawler import AdInteraction
@@ -42,6 +43,41 @@ class AttributionResult:
         return sum(len(records) for records in self.by_network.values())
 
 
+class IncrementalAttribution:
+    """Stage ⑦ as an incremental consumer of crawl batches.
+
+    Maintains the per-network interaction lists (the attribution
+    counters) as batches arrive; matching each ad against the invariant
+    patterns is per-record work, so feeding the stage in any batch
+    schedule yields the same result as one batch pass in the same total
+    order.  ``keys[i]`` records the network key (or ``None``) of the
+    *i*-th ingested interaction — the streaming pipeline's append-only
+    attribution row.
+    """
+
+    name = "attribution"
+
+    def __init__(self, patterns: list[InvariantPattern]) -> None:
+        self.patterns = patterns
+        #: Network key per ingested interaction, in ingest order.
+        self.keys: list[str | None] = []
+        self._result = AttributionResult()
+
+    def ingest(self, batch: Iterable[AdInteraction]) -> None:
+        """Attribute one batch of interactions."""
+        for record in batch:
+            network_key = _attribute_one(record, self.patterns)
+            self.keys.append(network_key)
+            if network_key is None:
+                self._result.unknown.append(record)
+            else:
+                self._result.by_network.setdefault(network_key, []).append(record)
+
+    def finalize(self) -> AttributionResult:
+        """The attribution over everything ingested so far."""
+        return self._result
+
+
 def attribute_interactions(
     interactions: list[AdInteraction],
     patterns: list[InvariantPattern],
@@ -52,14 +88,9 @@ def attribute_interactions(
     script that opened the tab) are considered — publisher pages often
     stack several networks, so page-level matching would misattribute.
     """
-    result = AttributionResult()
-    for record in interactions:
-        network_key = _attribute_one(record, patterns)
-        if network_key is None:
-            result.unknown.append(record)
-        else:
-            result.by_network.setdefault(network_key, []).append(record)
-    return result
+    stage = IncrementalAttribution(patterns)
+    stage.ingest(interactions)
+    return stage.finalize()
 
 
 def _attribute_one(

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.attacks.categories import AttackCategory
-from repro.cluster.dbscan import clusters_from_labels, dbscan
+from repro.cluster.dbscan import clusters_from_labels
 from repro.cluster.filtering import filter_clusters_by_domains
-from repro.cluster.metrics import HammingNeighborIndex
+from repro.cluster.incremental import IncrementalDBSCAN
 from repro.core.crawler import AdInteraction
 from repro.imaging.dhash import DHASH_BITS
 
@@ -95,60 +96,107 @@ class DiscoveryResult:
         ]
 
 
+class IncrementalDiscovery:
+    """Stage ④⑤ as an incremental consumer of crawl batches.
+
+    Ingests interactions as the farm emits them: each *new* distinct
+    ``(dhash, e2LD)`` pair is inserted into an :class:`IncrementalDBSCAN`
+    (step 2's neighbour structure grows per batch instead of being
+    rebuilt); repeat sightings of a known pair only extend that pair's
+    member list.  :meth:`finalize` then applies the theta_c filter and
+    triage over the current clustering.
+
+    Because pairs enter in first-sighting order — the same order the
+    batch stage enumerates them from the full interaction list — and the
+    incremental clustering is batch-identical (see
+    :mod:`repro.cluster.incremental`), ``finalize()`` returns exactly
+    what :func:`discover_campaigns` returns over the concatenation of all
+    ingested batches, for *any* batch-size schedule.
+    """
+
+    name = "discovery"
+
+    def __init__(self, eps: float = 0.1, min_pts: int = 3, theta_c: int = 5) -> None:
+        if not 0.0 < eps <= 1.0:
+            raise ValueError("eps must be in (0, 1]")
+        self.eps = eps
+        self.min_pts = min_pts
+        self.theta_c = theta_c
+        #: Distinct (dhash, e2LD) pairs, in first-sighting order, mapped
+        #: to every interaction that produced them.
+        self._pair_interactions: dict[tuple[int, str], list[AdInteraction]] = {}
+        self._index = IncrementalDBSCAN(int(eps * DHASH_BITS), min_pts)
+
+    @property
+    def pairs_seen(self) -> int:
+        """Distinct (dhash, e2LD) pairs ingested so far."""
+        return len(self._pair_interactions)
+
+    def ingest(self, batch: Iterable[AdInteraction]) -> None:
+        """Consume one batch of crawl interactions (step 1, incrementally)."""
+        for record in batch:
+            if not record.landing_e2ld:
+                continue
+            key = (record.screenshot_hash, record.landing_e2ld)
+            members = self._pair_interactions.get(key)
+            if members is None:
+                self._pair_interactions[key] = [record]
+                self._index.add(record.screenshot_hash)
+            else:
+                members.append(record)
+
+    def finalize(self) -> DiscoveryResult:
+        """Steps 3-4 over everything ingested so far.
+
+        Safe to call repeatedly (e.g. once per crawl batch for a live
+        campaign count); each call reflects the current stream prefix.
+        """
+        pairs = list(self._pair_interactions)
+        labels = self._index.labels()
+        clusters = clusters_from_labels(labels)
+        kept = filter_clusters_by_domains(
+            clusters, [pair[1] for pair in pairs], self.theta_c
+        )
+        result = DiscoveryResult(
+            eps=self.eps,
+            min_pts=self.min_pts,
+            theta_c=self.theta_c,
+            clusters_before_filter=len(clusters),
+            noise_points=sum(1 for label in labels if label == -1),
+        )
+        for cluster_id in sorted(kept):
+            member_pairs = [pairs[i] for i in kept[cluster_id]]
+            members = [
+                record
+                for pair in member_pairs
+                for record in self._pair_interactions[pair]
+            ]
+            label, category = _triage(members)
+            result.campaigns.append(
+                DiscoveredCampaign(
+                    cluster_id=cluster_id,
+                    pairs=member_pairs,
+                    interactions=members,
+                    label=label,
+                    category=category,
+                )
+            )
+        return result
+
+
 def discover_campaigns(
     interactions: list[AdInteraction],
     eps: float = 0.1,
     min_pts: int = 3,
     theta_c: int = 5,
 ) -> DiscoveryResult:
-    """Run the full §3.3 discovery stage over crawl interactions."""
-    if not 0.0 < eps <= 1.0:
-        raise ValueError("eps must be in (0, 1]")
-    # Step 1: distinct (dhash, e2LD) pairs, remembering which interactions
-    # produced each pair.
-    pair_interactions: dict[tuple[int, str], list[AdInteraction]] = {}
-    for record in interactions:
-        if not record.landing_e2ld:
-            continue
-        key = (record.screenshot_hash, record.landing_e2ld)
-        pair_interactions.setdefault(key, []).append(record)
-    pairs = list(pair_interactions)
-    hashes = [pair[0] for pair in pairs]
-    e2lds = [pair[1] for pair in pairs]
+    """Run the full §3.3 discovery stage over crawl interactions.
 
-    # Step 2: DBSCAN over Hamming distance.
-    radius = int(eps * DHASH_BITS)
-    index = HammingNeighborIndex(hashes, radius)
-    labels = dbscan(len(pairs), index.neighbors_of, min_pts)
-    clusters = clusters_from_labels(labels)
-
-    # Step 3: the theta_c domain filter.
-    kept = filter_clusters_by_domains(clusters, e2lds, theta_c)
-
-    result = DiscoveryResult(
-        eps=eps,
-        min_pts=min_pts,
-        theta_c=theta_c,
-        clusters_before_filter=len(clusters),
-        noise_points=sum(1 for label in labels if label == -1),
-    )
-    # Step 4: triage each kept cluster.
-    for cluster_id in sorted(kept):
-        member_pairs = [pairs[i] for i in kept[cluster_id]]
-        members = [
-            record for pair in member_pairs for record in pair_interactions[pair]
-        ]
-        label, category = _triage(members)
-        result.campaigns.append(
-            DiscoveredCampaign(
-                cluster_id=cluster_id,
-                pairs=member_pairs,
-                interactions=members,
-                label=label,
-                category=category,
-            )
-        )
-    return result
+    The batch entry point: one ingest of everything, then finalize.
+    """
+    stage = IncrementalDiscovery(eps=eps, min_pts=min_pts, theta_c=theta_c)
+    stage.ingest(interactions)
+    return stage.finalize()
 
 
 def _triage(members: list[AdInteraction]) -> tuple[str, AttackCategory | None]:

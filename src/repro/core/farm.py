@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.browser.useragent import PROFILES, UserAgentProfile
 from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
@@ -63,6 +64,22 @@ class CrawlDataset:
     def distinct_landing_hosts(self) -> set[str]:
         """All third-party landing hosts observed."""
         return {record.landing_host for record in self.interactions if record.landing_host}
+
+
+@dataclass
+class CrawlBatch:
+    """One streamed crawl increment: a publisher domain fully visited.
+
+    The unit the streaming pipeline consumes — the farm emits one batch
+    per completed domain (all user-agent profiles), carrying the
+    interactions that domain's sessions recorded (possibly none).
+    """
+
+    domain: str
+    residential: bool
+    interactions: list[AdInteraction]
+    #: Virtual time when the domain's last session finished.
+    clock: float
 
 
 @dataclass
@@ -118,16 +135,36 @@ class CrawlerFarm:
     ) -> CrawlDataset:
         """Crawl every listed publisher with every UA profile.
 
-        Progress is checkpointed after every completed session into
-        :attr:`checkpoint`; pass a previous crawl's checkpoint back in to
-        skip the work it already finished (crash recovery).
+        The batch entry point: drains :meth:`crawl_incremental` and
+        returns the accumulated dataset.  Progress is checkpointed after
+        every completed session into :attr:`checkpoint`; pass a previous
+        crawl's checkpoint back in to skip the work it already finished
+        (crash recovery).
+        """
+        batches = self.crawl_incremental(publisher_domains, checkpoint)
+        for _ in batches:
+            pass
+        return self.checkpoint.dataset
+
+    def crawl_incremental(
+        self,
+        publisher_domains: list[str],
+        checkpoint: CrawlCheckpoint | None = None,
+    ) -> Iterator[CrawlBatch]:
+        """Crawl lazily, yielding one :class:`CrawlBatch` per finished domain.
+
+        The streaming entry point: the consumer sees each domain's
+        interactions as soon as its sessions finish, while the checkpoint
+        and dataset advance exactly as in :meth:`crawl` — abandoning the
+        iterator mid-crawl leaves :attr:`checkpoint` resumable and
+        ``dataset.finished_at`` unset.  Domains the checkpoint already
+        completed are skipped without being re-yielded.
         """
         world = self.world
         config = self.config
         if checkpoint is None:
             checkpoint = CrawlCheckpoint(dataset=CrawlDataset(started_at=world.clock.now()))
         self.checkpoint = checkpoint
-        dataset = checkpoint.dataset
         institutional, residential = self.split_publisher_groups(publisher_domains)
         # §4.1: the residential laptops only got through a fraction.
         residential_cap = int(len(residential) * config.residential_visit_fraction)
@@ -136,11 +173,23 @@ class CrawlerFarm:
         plan += [(domain, True) for domain in residential]
         total_sessions = len(plan) * len(config.profiles)
         time_step = self._time_step(total_sessions)
+        return self._drive(plan, checkpoint, time_step)
 
+    def _drive(
+        self,
+        plan: list[tuple[str, bool]],
+        checkpoint: CrawlCheckpoint,
+        time_step: float,
+    ) -> Iterator[CrawlBatch]:
+        """The session loop behind :meth:`crawl_incremental`."""
+        world = self.world
+        config = self.config
+        dataset = checkpoint.dataset
         laptop_index = checkpoint.laptop_index
         for domain, is_residential in plan:
             if domain in checkpoint.completed_domains:
                 continue
+            batch: list[AdInteraction] = []
             for profile in config.profiles:
                 key = (domain, profile.name)
                 if key in checkpoint.completed_sessions:
@@ -155,6 +204,7 @@ class CrawlerFarm:
                 interactions = self._run_session(domain, profile, vantage)
                 dataset.sessions += 1
                 dataset.interactions.extend(interactions)
+                batch.extend(interactions)
                 for record in interactions:
                     if record.landing_e2ld:
                         dataset.landing_click_counts[record.landing_e2ld] += 1
@@ -171,8 +221,13 @@ class CrawlerFarm:
             if any(record.publisher_domain == domain for record in dataset.interactions):
                 dataset.publishers_with_ads.add(domain)
             checkpoint.completed_domains.add(domain)
+            yield CrawlBatch(
+                domain=domain,
+                residential=is_residential,
+                interactions=batch,
+                clock=world.clock.now(),
+            )
         dataset.finished_at = world.clock.now()
-        return dataset
 
     def _run_session(
         self, domain: str, profile: UserAgentProfile, vantage

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.attacks.categories import AttackCategory
 from repro.browser.devtools import DevToolsClient
@@ -188,6 +189,9 @@ class MilkingTracker:
         self.vantage = vantage
         self.sources: list[MilkingSource] = []
         self._source_ids = 0
+        #: (url, ua_name, cluster_id) triples already verified or added,
+        #: so repeated derivations over a growing discovery stay additive.
+        self._known_sources: set[tuple[str, str, int]] = set()
         #: Payload objects by hash, retained for end-of-experiment VT
         #: submission of previously unknown files.
         self._payloads: dict[str, object] = {}
@@ -201,7 +205,24 @@ class MilkingTracker:
         chains of its member interactions; each (candidate, UA) pair is
         verified by a pilot visit whose screenshot must match the
         cluster's known screenshots.
+
+        Incremental: calling this again with a grown discovery verifies
+        only combinations not seen before, so the streaming pipeline can
+        derive sources as campaigns accrete.  (Pilot visits happen at the
+        current virtual time; clusters that later merge keep the sources
+        they already earned.)
         """
+        self._derive_new(discovery)
+        return self.sources
+
+    def derive_new_sources(self, discovery: DiscoveryResult) -> list[MilkingSource]:
+        """Like :meth:`derive_sources`, but returns only the sources this
+        call added — the mid-run feeding unit for :meth:`run`'s
+        ``source_feed``."""
+        return self._derive_new(discovery)
+
+    def _derive_new(self, discovery: DiscoveryResult) -> list[MilkingSource]:
+        added: list[MilkingSource] = []
         for cluster in discovery.seacma_campaigns:
             candidates: dict[str, set[str]] = {}
             for record in cluster.interactions:
@@ -210,19 +231,40 @@ class MilkingTracker:
             known = set(cluster.hashes)
             for url in sorted(candidates):
                 for ua_name in sorted(candidates[url]):
+                    key = (url, ua_name, cluster.cluster_id)
+                    if key in self._known_sources:
+                        continue
+                    self._known_sources.add(key)
                     if self._verify(url, ua_name, known):
                         self._source_ids += 1
-                        self.sources.append(
-                            MilkingSource(
-                                source_id=self._source_ids,
-                                url=url,
-                                ua_name=ua_name,
-                                cluster_id=cluster.cluster_id,
-                                category=cluster.category,
-                                known_hashes=set(known),
-                            )
+                        source = MilkingSource(
+                            source_id=self._source_ids,
+                            url=url,
+                            ua_name=ua_name,
+                            cluster_id=cluster.cluster_id,
+                            category=cluster.category,
+                            known_hashes=set(known),
                         )
-        return self.sources
+                        self.sources.append(source)
+                        added.append(source)
+        return added
+
+    def add_source(self, source: MilkingSource) -> MilkingSource:
+        """Register an externally verified source (mid-run discovery).
+
+        New sources join the next milking round: the round loop reads
+        :attr:`sources` afresh each firing, so a source added between
+        rounds — by a ``source_feed`` or by a scheduler callback — is
+        milked from then on without disturbing the established schedule.
+        """
+        key = (source.url, source.ua_name, source.cluster_id)
+        if key in self._known_sources:
+            for existing in self.sources:
+                if (existing.url, existing.ua_name, existing.cluster_id) == key:
+                    return existing  # already registered; idempotent
+        self._known_sources.add(key)
+        self.sources.append(source)
+        return source
 
     def _verify(self, url: str, ua_name: str, known_hashes: set[int]) -> bool:
         """Pilot visit: does the candidate lead back to the campaign?"""
@@ -235,9 +277,20 @@ class MilkingTracker:
 
     # --------------------------------------------------------------- runs
 
-    def run(self, config: MilkingConfig | None = None) -> MilkingReport:
-        """Run the full milking + GSB + VirusTotal experiment."""
-        if not self.sources:
+    def run(
+        self,
+        config: MilkingConfig | None = None,
+        source_feed: Callable[[float], Iterable[MilkingSource]] | None = None,
+    ) -> MilkingReport:
+        """Run the full milking + GSB + VirusTotal experiment.
+
+        ``source_feed``, when given, is polled at the start of every
+        milking round with the current virtual time; any sources it
+        yields are registered via :meth:`add_source` and milked from that
+        round on — how newly discovered campaigns join a milking run
+        already in flight.
+        """
+        if not self.sources and source_feed is None:
             raise MilkingError("no milking sources; call derive_sources first")
         config = config if config is not None else MilkingConfig()
         clock = self.internet.clock
@@ -247,6 +300,10 @@ class MilkingTracker:
         milk_end = clock.now() + config.duration_days * DAY
 
         def milk_round(now: float) -> None:
+            if source_feed is not None:
+                for source in source_feed(now):
+                    self.add_source(source)
+                report.sources = len(self.sources)
             for source in self.sources:
                 if source.active and not self._milk_once(source, report, watchlist, config):
                     self._schedule_retry(

@@ -12,20 +12,48 @@
 
 Each stage is also callable on its own, so experiments (and tests) can
 run any prefix of the pipeline.
+
+Two execution modes share the same stage objects:
+
+* :meth:`SeacmaPipeline.run` — the batch mode: crawl everything, then
+  run each analysis stage once over the full interaction list;
+* :meth:`SeacmaPipeline.run_streaming` — the streaming mode: a
+  :class:`StreamingRun` feeds every finished crawl batch into the
+  incremental stages *while the crawl is still going*, persisting each
+  record into a :class:`~repro.store.base.RunStore` as it is produced.
+
+Both modes produce byte-identical results (see
+``tests/test_streaming_pipeline.py``): the incremental stages are
+schedule-invariant and milking starts after the crawl in either mode, so
+the virtual-time line is the same.  A streaming run whose process died
+mid-crawl is continued by :meth:`SeacmaPipeline.resume_streaming` over
+the surviving store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.attribution import (
     AttributionResult,
+    IncrementalAttribution,
     attribute_interactions,
     discover_new_networks,
     expand_publisher_list,
 )
-from repro.core.discovery import DiscoveryResult, discover_campaigns
-from repro.core.farm import CrawlDataset, CrawlerFarm, FarmConfig
+from repro.core.discovery import (
+    DiscoveryResult,
+    IncrementalDiscovery,
+    discover_campaigns,
+)
+from repro.core.farm import (
+    CrawlBatch,
+    CrawlCheckpoint,
+    CrawlDataset,
+    CrawlerFarm,
+    FarmConfig,
+)
 from repro.core.milking import MilkingConfig, MilkingReport, MilkingTracker
 from repro.core.seeds import (
     InvariantPattern,
@@ -33,9 +61,31 @@ from repro.core.seeds import (
     merged_publisher_list,
     reverse_to_publishers,
 )
+from repro.core.stages import StoreWriter, ingest_all
 from repro.ecosystem.world import World
+from repro.errors import ConfigError, StoreError
 from repro.faults.retry import Resilience, RetryPolicy
 from repro.faults.stats import FaultStats
+from repro.store.base import (
+    ATTRIBUTION,
+    CAMPAIGNS,
+    INTERACTIONS,
+    MILKING,
+    PROGRESS,
+    RunStore,
+)
+from repro.store.memory import MemoryStore
+from repro.store.records import (
+    attribution_to_records,
+    campaign_to_record,
+    crawl_summary_to_meta,
+    discovery_stats_to_meta,
+    interaction_from_record,
+    milking_to_records,
+    pattern_to_record,
+    progress_to_record,
+    world_config_to_meta,
+)
 
 
 @dataclass
@@ -109,6 +159,17 @@ class SeacmaPipeline:
             retry=policy, clock=self.world.clock, stats=stats
         )
 
+    def _require_publicwww(self):
+        """The wired PublicWWW index, or a descriptive configuration error."""
+        if self.world.publicwww is None:
+            raise ConfigError(
+                "world has no PublicWWW index, so seed patterns cannot be "
+                "reversed into a publisher list; build the world with "
+                "build_world() (which wires one) or attach an index to "
+                "world.publicwww before running the pipeline"
+            )
+        return self.world.publicwww
+
     # ------------------------------------------------------------- stages
 
     def derive_patterns(self) -> list[InvariantPattern]:
@@ -117,8 +178,7 @@ class SeacmaPipeline:
 
     def reverse_publishers(self, patterns: list[InvariantPattern]) -> list[str]:
         """② PublicWWW reversal into a crawl list."""
-        assert self.world.publicwww is not None
-        hits = reverse_to_publishers(patterns, self.world.publicwww)
+        hits = reverse_to_publishers(patterns, self._require_publicwww())
         return merged_publisher_list(hits)
 
     def crawl(self, publisher_domains: list[str]) -> CrawlDataset:
@@ -138,21 +198,37 @@ class SeacmaPipeline:
         """⑦ Attribute every triggered ad to an ad network."""
         return attribute_interactions(crawl.interactions, patterns)
 
-    def milk(self, discovery: DiscoveryResult) -> MilkingReport:
-        """⑥ Verify milkable URLs and run the milking experiment."""
-        tracker = MilkingTracker(
+    def milking_tracker(self) -> MilkingTracker:
+        """A milking tracker on the world's first residential laptop.
+
+        Milking must run from residential IP space (§3.5 — the cloaking
+        workaround applies to milking as much as to crawling), so a world
+        without residential vantage points cannot milk.
+        """
+        if not self.world.vantages_residential:
+            raise ConfigError(
+                "world has no residential vantage points, but milking "
+                "requires one (cloaked campaigns only serve residential "
+                "IP space); build the world with residential vantages or "
+                "run the pipeline with with_milking=False"
+            )
+        return MilkingTracker(
             self.world.internet,
             self.world.gsb,
             self.world.virustotal,
             self.world.vantages_residential[0],
         )
+
+    def milk(self, discovery: DiscoveryResult) -> MilkingReport:
+        """⑥ Verify milkable URLs and run the milking experiment."""
+        tracker = self.milking_tracker()
         tracker.derive_sources(discovery)
         return tracker.run(self.milking_config)
 
     # ---------------------------------------------------------------- run
 
     def run(self, with_milking: bool = True) -> PipelineResult:
-        """Run the full pipeline and collect every artifact."""
+        """Run the full pipeline in batch mode and collect every artifact."""
         result = PipelineResult()
         result.patterns = self.derive_patterns()
         result.publisher_domains = self.reverse_publishers(result.patterns)
@@ -160,13 +236,321 @@ class SeacmaPipeline:
         result.discovery = self.discover(result.crawl)
         result.attribution = self.attribute(result.crawl, result.patterns)
         result.new_patterns = discover_new_networks(result.attribution.unknown)
-        assert self.world.publicwww is not None
         result.expanded_publishers = expand_publisher_list(
             result.new_patterns,
-            self.world.publicwww,
+            self._require_publicwww(),
             already_known=set(result.publisher_domains),
         )
         if with_milking:
             result.milking = self.milk(result.discovery)
         result.fault_stats = self.world.internet.fault_stats
         return result
+
+    # ---------------------------------------------------------- streaming
+
+    def start_streaming(
+        self,
+        store: RunStore | None = None,
+        with_milking: bool = True,
+        batch_domains: int = 1,
+    ) -> "StreamingRun":
+        """Begin a streaming run without driving it.
+
+        Returns the :class:`StreamingRun`; the caller drains
+        :meth:`StreamingRun.crawl_batches` (observing live progress along
+        the way) and then calls :meth:`StreamingRun.finalize`.
+        """
+        if store is None:
+            store = MemoryStore(run_id=f"seed-{self.world.config.seed}")
+        return StreamingRun(
+            self, store, with_milking=with_milking, batch_domains=batch_domains
+        )
+
+    def run_streaming(
+        self,
+        store: RunStore | None = None,
+        with_milking: bool = True,
+        batch_domains: int = 1,
+    ) -> PipelineResult:
+        """Run the full pipeline in streaming mode.
+
+        Identical results to :meth:`run`, but every crawl record is
+        ingested by the incremental stages and appended to ``store`` the
+        moment its publisher domain finishes crawling.  ``batch_domains``
+        sets how many finished domains are grouped per analysis-stage
+        ingest (any value produces the same results; it exists to bound
+        per-ingest overhead and to let tests vary the batch schedule).
+        """
+        run = self.start_streaming(
+            store, with_milking=with_milking, batch_domains=batch_domains
+        )
+        for _ in run.crawl_batches():
+            pass
+        return run.finalize()
+
+    def resume_streaming(
+        self,
+        store: RunStore,
+        with_milking: bool = True,
+        batch_domains: int = 1,
+    ) -> PipelineResult:
+        """Continue a streaming run that stopped mid-crawl.
+
+        The store's ``progress`` stream tells the farm which publisher
+        domains already finished; their interactions are replayed from
+        the store into the incremental stages, then the crawl continues
+        with the remaining domains and the run finalizes normally.
+
+        The world must match the stored one (same
+        :class:`~repro.ecosystem.world.WorldConfig`) — use
+        :func:`repro.store.persist.load_world` to rebuild it.  Like
+        restarting real measurement infrastructure against the live
+        internet, the continued portion is deterministic given the store
+        but not byte-identical to the run the crash interrupted: the ad
+        servers' serving state does not survive the crash.
+        """
+        run = StreamingRun(
+            self,
+            store,
+            with_milking=with_milking,
+            batch_domains=batch_domains,
+            resume=True,
+        )
+        for _ in run.crawl_batches():
+            pass
+        return run.finalize()
+
+
+class StreamingRun:
+    """One streaming pipeline execution over a run store.
+
+    Wires the incremental stages to a :class:`CrawlerFarm` and a
+    :class:`~repro.store.base.RunStore`:
+
+    * per finished publisher domain: interactions and clustering hashes
+      are appended to the store and a ``progress`` marker is written —
+      the store is always consistent at domain granularity;
+    * per ``batch_domains`` finished domains: the buffered interactions
+      are fed to discovery and attribution, which update incrementally;
+    * :meth:`finalize` closes the crawl summary, writes campaigns,
+      attribution rows and the milking report, and returns the same
+      :class:`PipelineResult` a batch run produces.
+    """
+
+    def __init__(
+        self,
+        pipeline: SeacmaPipeline,
+        store: RunStore,
+        with_milking: bool = True,
+        batch_domains: int = 1,
+        resume: bool = False,
+    ) -> None:
+        if batch_domains < 1:
+            raise ValueError("batch_domains must be at least 1")
+        self.pipeline = pipeline
+        self.store = store
+        self.with_milking = with_milking
+        self.batch_domains = batch_domains
+        self.result = PipelineResult()
+        self.result.patterns = pipeline.derive_patterns()
+        self.result.publisher_domains = pipeline.reverse_publishers(
+            self.result.patterns
+        )
+        self.farm = CrawlerFarm(pipeline.world, pipeline.farm_config)
+        self.writer = StoreWriter(store)
+        self.discovery_stage = IncrementalDiscovery(
+            eps=pipeline.eps, min_pts=pipeline.min_pts, theta_c=pipeline.theta_c
+        )
+        self.attribution_stage = IncrementalAttribution(self.result.patterns)
+        #: Stages fed per ``batch_domains`` group (the store writer runs
+        #: per domain, ahead of them).
+        self.analysis_stages = [self.discovery_stage, self.attribution_stage]
+        self._buffer: list = []
+        self._buffered_domains = 0
+        self._finalized = False
+        self._checkpoint: CrawlCheckpoint | None = None
+        if resume:
+            self._checkpoint = self._rebuild_checkpoint()
+        else:
+            if store.count(INTERACTIONS) or store.count(PROGRESS):
+                raise StoreError(
+                    f"store {store.run_id!r} already holds crawl records; "
+                    "resume it with `repro resume` or start the new run in "
+                    "an empty store"
+                )
+            store.put_meta("status", "running")
+            store.put_meta("started_at", pipeline.world.clock.now())
+            store.put_meta(
+                "world_config", world_config_to_meta(pipeline.world.config)
+            )
+            store.put_meta(
+                "patterns",
+                [pattern_to_record(pattern) for pattern in self.result.patterns],
+            )
+            store.put_meta("publisher_domains", self.result.publisher_domains)
+
+    # ----------------------------------------------------------- crawling
+
+    def crawl_batches(self) -> Iterator[CrawlBatch]:
+        """Drive the crawl, persisting and analysing batch by batch.
+
+        Yields each :class:`CrawlBatch` after it has been stored and (at
+        ``batch_domains`` boundaries) ingested, so the consumer observes
+        live progress — e.g. ``self.discovery_stage.finalize()`` between
+        batches is the current campaign census.  Abandoning the iterator
+        leaves the store resumable.
+        """
+        store = self.store
+        batches = self.farm.crawl_incremental(
+            self.result.publisher_domains, self._checkpoint
+        )
+        for batch in batches:
+            self.writer.ingest(batch.interactions)
+            checkpoint = self.farm.checkpoint
+            store.append(
+                PROGRESS,
+                progress_to_record(
+                    domain=batch.domain,
+                    residential=batch.residential,
+                    laptop_index=checkpoint.laptop_index,
+                    clock=batch.clock,
+                    sessions=checkpoint.dataset.sessions,
+                    interaction_rows=self.writer.rows_written,
+                ),
+            )
+            self._buffer.extend(batch.interactions)
+            self._buffered_domains += 1
+            if self._buffered_domains >= self.batch_domains:
+                self._flush()
+            yield batch
+        self._flush()
+
+    def _flush(self) -> None:
+        """Feed buffered interactions to the analysis stages."""
+        if self._buffer:
+            ingest_all(self.analysis_stages, self._buffer)
+            self._buffer = []
+        self._buffered_domains = 0
+
+    # ----------------------------------------------------------- finishing
+
+    def finalize(self) -> PipelineResult:
+        """Close the run: analysis results, milking, store finalization."""
+        if self._finalized:
+            return self.result
+        self._flush()
+        pipeline = self.pipeline
+        store = self.store
+        result = self.result
+        dataset = self.farm.checkpoint.dataset
+        if not dataset.finished_at:
+            raise ConfigError(
+                "the crawl has not finished; drain crawl_batches() before "
+                "calling finalize() (or use run_streaming(), which does)"
+            )
+        result.crawl = dataset
+        store.put_meta("crawl_summary", crawl_summary_to_meta(dataset))
+        result.discovery = self.discovery_stage.finalize()
+        store.put_meta("discovery_stats", discovery_stats_to_meta(result.discovery))
+        store.extend(
+            CAMPAIGNS,
+            (
+                campaign_to_record(campaign, self.writer.rows_of)
+                for campaign in result.discovery.campaigns
+            ),
+        )
+        result.attribution = self.attribution_stage.finalize()
+        store.extend(
+            ATTRIBUTION,
+            attribution_to_records(result.attribution, self.writer.rows_of),
+        )
+        result.new_patterns = discover_new_networks(result.attribution.unknown)
+        result.expanded_publishers = expand_publisher_list(
+            result.new_patterns,
+            pipeline._require_publicwww(),
+            already_known=set(result.publisher_domains),
+        )
+        store.put_meta(
+            "new_patterns",
+            [pattern_to_record(pattern) for pattern in result.new_patterns],
+        )
+        store.put_meta("expanded_publishers", result.expanded_publishers)
+        if self.with_milking:
+            result.milking = pipeline.milk(result.discovery)
+            store.extend(MILKING, milking_to_records(result.milking))
+        result.fault_stats = pipeline.world.internet.fault_stats
+        store.put_meta("finished_at", pipeline.world.clock.now())
+        store.put_meta("status", "finished")
+        self._finalized = True
+        return result
+
+    # ------------------------------------------------------------- resume
+
+    def _rebuild_checkpoint(self) -> CrawlCheckpoint:
+        """Reconstruct farm progress from the store's surviving streams.
+
+        Replays every stored interaction into the analysis stages (the
+        store writer's row counter already continues past them) and
+        rebuilds the :class:`CrawlCheckpoint` the interrupted crawl would
+        have held, at domain granularity: a domain whose progress marker
+        never made it to disk is re-crawled from scratch.
+        """
+        store = self.store
+        status = store.get_meta("status")
+        if status == "finished":
+            raise StoreError(
+                f"run {store.run_id!r} already finished; regenerate its "
+                "reports with `repro report --from-store` instead of "
+                "resuming it"
+            )
+        if status is None:
+            raise StoreError(
+                f"store {store.run_id!r} holds no run to resume; start one "
+                "with `repro run --stream --store-dir DIR`"
+            )
+        progress = store.read(PROGRESS)
+        raw = store.read(INTERACTIONS)
+        expected_rows = progress[-1]["interaction_rows"] if progress else 0
+        if len(raw) != expected_rows:
+            raise StoreError(
+                f"store {store.run_id!r} holds a torn crawl batch: "
+                f"{len(raw)} interaction rows but the last progress marker "
+                f"covers {expected_rows}; the run died mid-append — start "
+                "a fresh run (the streams cannot be trimmed in place)"
+            )
+        interactions = [interaction_from_record(record) for record in raw]
+        for row, record in enumerate(interactions):
+            self.writer.rows_of[id(record)] = row
+        ingest_all(self.analysis_stages, interactions)
+        dataset = CrawlDataset(
+            interactions=list(interactions),
+            started_at=store.get_meta("started_at", 0.0),
+        )
+        for record in interactions:
+            if record.landing_e2ld:
+                dataset.landing_click_counts[record.landing_e2ld] += 1
+        completed_domains: set[str] = set()
+        for marker in progress:
+            completed_domains.add(marker["domain"])
+            dataset.publishers_visited += 1
+            if marker["residential"]:
+                dataset.publishers_residential += 1
+            else:
+                dataset.publishers_institutional += 1
+        for record in interactions:
+            if record.publisher_domain in completed_domains:
+                dataset.publishers_with_ads.add(record.publisher_domain)
+        checkpoint = CrawlCheckpoint(dataset=dataset)
+        checkpoint.completed_domains = completed_domains
+        checkpoint.completed_sessions = {
+            (domain, profile.name)
+            for domain in completed_domains
+            for profile in self.farm.config.profiles
+        }
+        if progress:
+            last = progress[-1]
+            checkpoint.laptop_index = last["laptop_index"]
+            dataset.sessions = last["sessions"]
+            # Pick the virtual-time line back up where the run stopped.
+            self.pipeline.world.clock.advance_to(last["clock"])
+        return checkpoint

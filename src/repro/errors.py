@@ -90,6 +90,20 @@ class WorldConfigError(ReproError):
     """Raised when a :class:`~repro.ecosystem.world.WorldConfig` is invalid."""
 
 
+class ConfigError(ReproError):
+    """Raised when the measurement system is wired inconsistently.
+
+    Unlike :class:`WorldConfigError` (bad *world parameters*), this covers
+    a structurally incomplete setup: a world missing a service the
+    requested pipeline stage depends on, or stage preconditions that a
+    caller skipped.  Messages include a remediation hint.
+    """
+
+
+class StoreError(ReproError):
+    """Raised when a run store is missing, malformed, or misused."""
+
+
 class ClusteringError(ReproError):
     """Raised for invalid clustering parameters or inputs."""
 

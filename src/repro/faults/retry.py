@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.clock import SimClock
+from repro.errors import ConfigError
 from repro.faults.stats import FaultStats
 from repro.rng import rng_for
 
@@ -107,7 +108,12 @@ class CircuitBreaker:
         """Whether a request to the host may proceed at virtual ``now``."""
         if self.state is not BreakerState.OPEN:
             return True
-        assert self._opened_at is not None
+        if self._opened_at is None:
+            raise ConfigError(
+                f"circuit breaker for {self.host!r} is OPEN without an "
+                "opening time; breakers must only be opened via "
+                "record_failure(), which stamps it"
+            )
         if now - self._opened_at >= self.cooldown:
             self.state = BreakerState.HALF_OPEN
             return True

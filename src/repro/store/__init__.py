@@ -1,0 +1,38 @@
+"""Persistent, pluggable storage for measurement runs.
+
+The streaming pipeline (:mod:`repro.core.pipeline`) writes every
+artifact — crawl interactions, screenshot hashes, discovered campaigns,
+attribution rows, milking samples — to a :class:`RunStore` as typed,
+append-only record streams.  :class:`MemoryStore` backs in-process runs;
+:class:`JsonlStore` backs durable runs that can be stopped, resumed
+(``repro resume DIR``) and re-reported offline
+(:func:`repro.store.persist.load_run`).
+"""
+
+from repro.store.base import (
+    ATTRIBUTION,
+    CAMPAIGNS,
+    HASHES,
+    INTERACTIONS,
+    META,
+    MILKING,
+    PROGRESS,
+    STREAMS,
+    RunStore,
+)
+from repro.store.jsonl import JsonlStore
+from repro.store.memory import MemoryStore
+
+__all__ = [
+    "RunStore",
+    "MemoryStore",
+    "JsonlStore",
+    "STREAMS",
+    "INTERACTIONS",
+    "HASHES",
+    "CAMPAIGNS",
+    "ATTRIBUTION",
+    "MILKING",
+    "PROGRESS",
+    "META",
+]

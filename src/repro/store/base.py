@@ -1,0 +1,125 @@
+"""Persistent run storage: the spine of the streaming pipeline.
+
+A :class:`RunStore` holds one measurement run as *typed, append-only
+record streams* keyed by a run id.  Streams are named by the constants
+below; every record is a JSON-compatible dict whose schema is defined by
+the codecs in :mod:`repro.store.records`.  Run-level scalars (world
+config, crawl summary, status) live in the ``meta`` stream as append-only
+``{"key", "value"}`` records with last-write-wins semantics, so even
+metadata updates never rewrite earlier bytes.
+
+Two backends implement the protocol: :class:`~repro.store.memory.MemoryStore`
+(plain lists, the default for in-process runs) and
+:class:`~repro.store.jsonl.JsonlStore` (one ``.jsonl`` file per stream in
+a directory, for durable runs that can be resumed or re-analysed
+offline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
+
+#: Stream of raw crawl records (one per :class:`AdInteraction`, in crawl
+#: order — the total order every downstream stage consumes).
+INTERACTIONS = "interactions"
+#: Stream of clustering inputs: ``(interaction row, dhash, e2LD)`` for
+#: every interaction that reached a third-party landing page.
+HASHES = "hashes"
+#: Stream of discovered campaigns (kept clusters after the theta_c filter).
+CAMPAIGNS = "campaigns"
+#: Stream of per-interaction attribution rows (row index -> network key).
+ATTRIBUTION = "attribution"
+#: Stream of milking samples: kind-tagged domain / file / phone / gateway
+#: records plus one summary row.
+MILKING = "milking"
+#: Stream of crawl progress markers (one per completed publisher domain).
+PROGRESS = "progress"
+#: Key/value metadata stream (append-only, last write wins per key).
+META = "meta"
+
+#: Every canonical stream, in write order.
+STREAMS = (INTERACTIONS, HASHES, CAMPAIGNS, ATTRIBUTION, MILKING, PROGRESS, META)
+
+
+@runtime_checkable
+class RunStore(Protocol):
+    """Append-only record streams for one measurement run."""
+
+    @property
+    def run_id(self) -> str:
+        """Identifier of the run this store holds."""
+        ...
+
+    def append(self, stream: str, record: Mapping[str, Any]) -> None:
+        """Append one record to ``stream``."""
+        ...
+
+    def extend(self, stream: str, records: Iterable[Mapping[str, Any]]) -> None:
+        """Append many records to ``stream`` in order."""
+        ...
+
+    def read(self, stream: str) -> list[dict[str, Any]]:
+        """Every record of ``stream``, in append order."""
+        ...
+
+    def count(self, stream: str) -> int:
+        """Number of records appended to ``stream`` so far."""
+        ...
+
+    def streams(self) -> list[str]:
+        """Names of the streams that hold at least one record."""
+        ...
+
+    def put_meta(self, key: str, value: Any) -> None:
+        """Set a run-level metadata value (appends to the meta stream)."""
+        ...
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Latest metadata value for ``key``, or ``default``."""
+        ...
+
+
+class StoreBase:
+    """Shared behaviour for the concrete backends.
+
+    Subclasses implement :meth:`append`, :meth:`read`, :meth:`count` and
+    :meth:`streams`; this base supplies batching and the meta-stream
+    key/value convention on top.
+    """
+
+    run_id: str
+
+    def extend(self, stream: str, records: Iterable[Mapping[str, Any]]) -> None:
+        for record in records:
+            self.append(stream, record)
+
+    def append(self, stream: str, record: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def read(self, stream: str) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def count(self, stream: str) -> int:
+        raise NotImplementedError
+
+    def streams(self) -> list[str]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- metadata
+
+    def put_meta(self, key: str, value: Any) -> None:
+        self.append(META, {"key": key, "value": value})
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        value = default
+        for record in self.read(META):
+            if record.get("key") == key:
+                value = record.get("value")
+        return value
+
+    def meta(self) -> dict[str, Any]:
+        """The resolved (last-write-wins) metadata mapping."""
+        resolved: dict[str, Any] = {}
+        for record in self.read(META):
+            resolved[record["key"]] = record.get("value")
+        return resolved

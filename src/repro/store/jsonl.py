@@ -1,0 +1,133 @@
+"""Durable run store: one append-only JSONL file per stream.
+
+Layout of a store directory::
+
+    <dir>/meta.jsonl            # key/value metadata records
+    <dir>/interactions.jsonl    # one record per crawled ad interaction
+    <dir>/hashes.jsonl          # clustering inputs
+    <dir>/campaigns.jsonl       # discovered campaigns
+    <dir>/attribution.jsonl     # per-interaction attribution rows
+    <dir>/milking.jsonl         # milking samples + summary
+    <dir>/progress.jsonl        # per-domain crawl progress markers
+
+Every write is a single ``json.dumps`` line flushed to disk, so a run
+killed mid-crawl loses at most the record being written; ``repro resume``
+reloads the directory and continues from the last progress marker.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, IO, Mapping
+
+from repro.errors import StoreError
+from repro.store.base import META, StoreBase
+
+_STREAM_NAME = re.compile(r"^[a-z][a-z0-9_-]*$")
+
+
+class JsonlStore(StoreBase):
+    """Append-only JSONL streams in a directory (one run per directory)."""
+
+    def __init__(self, directory: str | Path, run_id: str | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, IO[str]] = {}
+        self._counts: dict[str, int] = {}
+        existing = self._stream_path(META).exists()
+        stored_id = self.get_meta("run_id") if existing else None
+        if stored_id is None:
+            self.run_id = run_id if run_id is not None else "run"
+            self.put_meta("run_id", self.run_id)
+        elif run_id is not None and run_id != stored_id:
+            raise StoreError(
+                f"store {self.directory} already holds run {stored_id!r}, "
+                f"not {run_id!r}; point --store-dir at an empty directory "
+                "to start a new run"
+            )
+        else:
+            self.run_id = stored_id
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "JsonlStore":
+        """Open an existing store, refusing to create one implicitly."""
+        directory = Path(directory)
+        if not (directory / f"{META}.jsonl").exists():
+            raise StoreError(
+                f"no run store at {directory} (missing {META}.jsonl); "
+                "create one with `repro run --stream --store-dir DIR`"
+            )
+        return cls(directory)
+
+    # ------------------------------------------------------------ plumbing
+
+    def _stream_path(self, stream: str) -> Path:
+        if not _STREAM_NAME.match(stream):
+            raise StoreError(f"invalid stream name: {stream!r}")
+        return self.directory / f"{stream}.jsonl"
+
+    def _handle(self, stream: str) -> IO[str]:
+        handle = self._handles.get(stream)
+        if handle is None:
+            handle = self._stream_path(stream).open("a", encoding="utf-8")
+            self._handles[stream] = handle
+        return handle
+
+    # ------------------------------------------------------------- protocol
+
+    def append(self, stream: str, record: Mapping[str, Any]) -> None:
+        before = self.count(stream)
+        handle = self._handle(stream)
+        handle.write(json.dumps(dict(record), separators=(",", ":"), sort_keys=True))
+        handle.write("\n")
+        handle.flush()
+        self._counts[stream] = before + 1
+
+    def read(self, stream: str) -> list[dict[str, Any]]:
+        path = self._stream_path(stream)
+        if not path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise StoreError(
+                        f"corrupt record at {path}:{line_no}: {error}"
+                    ) from error
+        return records
+
+    def count(self, stream: str) -> int:
+        cached = self._counts.get(stream)
+        if cached is None:
+            cached = len(self.read(stream))
+            self._counts[stream] = cached
+        return cached
+
+    def streams(self) -> list[str]:
+        return sorted(
+            path.stem
+            for path in self.directory.glob("*.jsonl")
+            if path.stat().st_size > 0
+        )
+
+    def close(self) -> None:
+        """Close every open file handle (appends reopen lazily)."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "JsonlStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JsonlStore({str(self.directory)!r}, run_id={self.run_id!r})"

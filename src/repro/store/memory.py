@@ -1,0 +1,36 @@
+"""In-memory run store: the zero-dependency default backend."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.store.base import StoreBase
+
+
+class MemoryStore(StoreBase):
+    """Append-only streams held as plain lists.
+
+    Records are shallow-copied on append so later caller-side mutation
+    cannot rewrite history — the same isolation a durable backend gives.
+    """
+
+    def __init__(self, run_id: str = "in-memory") -> None:
+        self.run_id = run_id
+        self._streams: dict[str, list[dict[str, Any]]] = {}
+        self._meta_cache: dict[str, Any] = {}
+
+    def append(self, stream: str, record: Mapping[str, Any]) -> None:
+        self._streams.setdefault(stream, []).append(dict(record))
+
+    def read(self, stream: str) -> list[dict[str, Any]]:
+        return list(self._streams.get(stream, ()))
+
+    def count(self, stream: str) -> int:
+        return len(self._streams.get(stream, ()))
+
+    def streams(self) -> list[str]:
+        return sorted(name for name, records in self._streams.items() if records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {name: len(records) for name, records in self._streams.items()}
+        return f"MemoryStore(run_id={self.run_id!r}, streams={sizes})"

@@ -69,3 +69,34 @@ class TestMain:
         output = capsys.readouterr().out
         assert "SEACMA campaigns" in output
         assert "milking:" not in output
+
+
+class TestStreaming:
+    def test_parser_stream_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--stream", "--store-dir", "d", "--batch-domains", "4"]
+        )
+        assert args.stream and str(args.store_dir) == "d"
+        assert args.batch_domains == 4
+        args = parser.parse_args(["resume", "d", "--days", "1.5"])
+        assert args.command == "resume"
+        assert str(args.store_dir) == "d" and args.days == 1.5
+
+    def test_run_stream_then_offline_report(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            ["run", "--days", "0.5", "--seed", "3", "--stream",
+             "--store-dir", str(store_dir)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SEACMA campaigns" in output
+        assert f"run store written to {store_dir}/" in output
+        for stream in ("meta", "interactions", "progress", "campaigns"):
+            assert (store_dir / f"{stream}.jsonl").exists()
+        # The same store regenerates tables and the report offline.
+        assert main(["report", "--from-store", str(store_dir)]) == 0
+        assert capsys.readouterr().out.startswith("# SEACMA measurement report")
+        assert main(["tables", "--from-store", str(store_dir)]) == 0
+        assert "TABLE 1" in capsys.readouterr().out
