@@ -46,7 +46,14 @@ class AdNetworkServer(VirtualServer):
         max_code_domains: int | None = None,
     ) -> None:
         self.spec = spec
-        self._rng: random.Random = rng_for(seed, "adnet", spec.key)
+        self._seed = seed
+        # Ad decisions draw from one stream per crawl scope (the
+        # publisher domain driving the visit, "" outside the farm), so a
+        # unit's ad sequence depends only on its own impression order —
+        # never on how impressions from other units interleave.  That
+        # independence is what makes sharded crawls byte-identical to
+        # sequential ones.
+        self._scope_rngs: dict[str, random.Random] = {}
         generator = DomainGenerator(seed, f"adnet/{spec.key}")
         domain_count = spec.code_domain_count
         if max_code_domains is not None:
@@ -149,22 +156,31 @@ class AdNetworkServer(VirtualServer):
             self._banner_cache[cache_key] = page
         return html_response(page)
 
+    def serving_rng(self, scope: str) -> random.Random:
+        """The ad-decision stream for one crawl scope (created lazily)."""
+        rng = self._scope_rngs.get(scope)
+        if rng is None:
+            rng = rng_for(self._seed, "adnet", self.spec.key, "scope", scope)
+            self._scope_rngs[scope] = rng
+        return rng
+
     def _decide_ad(self, request: HttpRequest, context: FetchContext) -> HttpResponse:
         self.impressions += 1
         now = context.now
+        rng = self.serving_rng(context.scope)
         if self.spec.cloaks_nonresidential and not request.vantage.looks_residential:
-            return redirect(self._benign_url_picker(self._rng, now))
+            return redirect(self._benign_url_picker(rng, now))
         # Syndication: hand the impression to a partner exchange.  The
         # ``syn`` marker stops resold impressions from bouncing onward,
         # bounding chains at one hop as real resellers do for latency.
         if (
             self._partners
             and "syn" not in request.url.params
-            and self._rng.random() < self.syndication_prob
+            and rng.random() < self.syndication_prob
         ):
             self.syndicated_impressions += 1
-            partner = self._rng.choice(self._partners)
-            partner_domain = partner.pick_code_domain(self._rng)
+            partner = rng.choice(self._partners)
+            partner_domain = partner.pick_code_domain(rng)
             publisher_id = request.url.params.get("pid", "unknown")
             target = (
                 f"http://{partner_domain}/{partner.spec.invariant_token}/go"
@@ -177,10 +193,10 @@ class AdNetworkServer(VirtualServer):
             for campaign, weight in self._inventory
             if platform in campaign.platforms  # type: ignore[attr-defined]
         ]
-        if eligible and self._rng.random() < self.spec.se_rate:
+        if eligible and rng.random() < self.spec.se_rate:
             self.se_impressions += 1
             campaigns = [campaign for campaign, _ in eligible]
             weights = [weight for _, weight in eligible]
-            campaign = weighted_choice(self._rng, campaigns, weights)
+            campaign = weighted_choice(rng, campaigns, weights)
             return redirect(campaign.entry_url(now))  # type: ignore[attr-defined]
-        return redirect(self._benign_url_picker(self._rng, now))
+        return redirect(self._benign_url_picker(rng, now))

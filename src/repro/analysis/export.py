@@ -44,6 +44,7 @@ def interaction_to_dict(record: AdInteraction) -> dict[str, Any]:
         "publisher_scripts": list(record.publisher_scripts),
         "load_failed": record.load_failed,
         "notification_prompt": record.notification_prompt,
+        "notification_push_endpoint": record.notification_push_endpoint,
         "popunder": record.popunder,
         "page_features": {
             "n_scripts": record.page_features.n_scripts,
@@ -76,6 +77,7 @@ def interaction_from_dict(data: dict[str, Any]) -> AdInteraction:
         publisher_scripts=tuple(data["publisher_scripts"]),
         load_failed=data["load_failed"],
         notification_prompt=data["notification_prompt"],
+        notification_push_endpoint=data.get("notification_push_endpoint"),
         popunder=data["popunder"],
         page_features=PageFeatures(
             n_scripts=features.get("n_scripts", 0),

@@ -89,7 +89,12 @@ class Campaign:
             if self.profile.forwards_to_customer
             else None
         )
-        self._download_rng = rng_for(seed, "campaign-downloads", key)
+        self._seed = seed
+        # One download stream per crawl scope: whether the N-th download
+        # attempt from one crawl unit completes depends only on that
+        # unit's own attempt count, not on how other units' requests
+        # interleave (keeps sharded crawls identical to sequential).
+        self._download_rngs: dict[str, random.Random] = {}
         self._on_new_domain: NewDomainHook | None = None
         self._page_cache: dict[str, object] = {}
 
@@ -156,11 +161,15 @@ class Campaign:
             self._page_cache[key] = page
         return page
 
-    def should_deliver_download(self) -> bool:
+    def should_deliver_download(self, scope: str = "") -> bool:
         """Sample whether one interaction produces a file download."""
         if self.payload_factory is None:
             return False
-        return self._download_rng.random() < self.profile.download_prob
+        rng = self._download_rngs.get(scope)
+        if rng is None:
+            rng = rng_for(self._seed, "campaign-downloads", self.key, "scope", scope)
+            self._download_rngs[scope] = rng
+        return rng.random() < self.profile.download_prob
 
 
 class CampaignServer(VirtualServer):
@@ -191,16 +200,18 @@ class CampaignServer(VirtualServer):
             if request.url.path == campaign.landing_path:
                 return html_response(campaign.landing_page(host, now))
             if request.url.path.startswith("/download"):
-                return self._serve_download(request)
+                return self._serve_download(request, context)
             return not_found()
         return not_found()
 
-    def _serve_download(self, request: HttpRequest) -> HttpResponse:
+    def _serve_download(
+        self, request: HttpRequest, context: FetchContext
+    ) -> HttpResponse:
         campaign = self.campaign
         factory = campaign.payload_factory
         if factory is None:
             return not_found()
-        if not campaign.should_deliver_download():
+        if not campaign.should_deliver_download(context.scope):
             # Flaky download endpoints are common on these campaigns; the
             # crawler only records the downloads that actually complete.
             return not_found()

@@ -28,6 +28,7 @@ import pathlib
 import sys
 
 from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.errors import ConfigError, StoreError
 from repro.analysis.export import export_crawl_dataset, export_milking_report
 from repro.analysis.feeds import (
     build_domain_feed,
@@ -95,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="finished domains per analysis-stage ingest",
             )
+            command.add_argument(
+                "--workers",
+                type=int,
+                default=1,
+                help="crawl worker processes (requires --stream; results "
+                "are byte-identical to --workers 1)",
+            )
         if name in ("tables", "report"):
             command.add_argument(
                 "--from-store",
@@ -109,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--days", type=float, default=2.0, help="milking days")
     resume.add_argument("--no-milking", action="store_true")
     resume.add_argument("--batch-domains", type=int, default=1)
+    resume.add_argument(
+        "--workers", type=int, default=1, help="crawl worker processes"
+    )
     return parser
 
 
@@ -134,6 +145,7 @@ def _run_pipeline(args):
             store=store,
             with_milking=with_milking,
             batch_domains=args.batch_domains,
+            workers=args.workers,
         )
     else:
         result = pipeline.run(with_milking=with_milking)
@@ -157,6 +169,7 @@ def _resume(args) -> int:
         store,
         with_milking=not args.no_milking,
         batch_domains=args.batch_domains,
+        workers=args.workers,
     )
     print(
         f"resumed run {store.run_id}: {result.crawl.publishers_visited} publishers "
@@ -204,8 +217,26 @@ def _print_feeds(world, result, out=print) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point.
+
+    Operational errors (missing or damaged run stores, bad
+    configuration) are reported as one-line messages on stderr with a
+    non-zero exit code — no tracebacks for predictable failures.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "workers", 1) > 1 and args.command == "run" and not args.stream:
+        parser.error("--workers requires --stream (the batch mode is sequential)")
+    if getattr(args, "workers", 1) < 1:
+        parser.error("--workers must be at least 1")
+    try:
+        return _dispatch(args)
+    except (StoreError, ConfigError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     if args.command == "resume":
         return _resume(args)
     if args.command == "selfcheck":
@@ -238,6 +269,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(result.crawl.interactions)} ads, "
             f"{len(result.discovery.seacma_campaigns)} SEACMA campaigns"
         )
+        if result.crawl.residential_dropped:
+            print(
+                f"residential cap: {result.crawl.residential_dropped} "
+                "residential-group domains not visited (bandwidth budget)"
+            )
         if args.stream and args.store_dir is not None:
             print(f"run store written to {args.store_dir}/")
         if result.milking is not None:

@@ -52,6 +52,20 @@ class SimClock:
             )
         self._now = timestamp
 
+    def seek(self, timestamp: float) -> None:
+        """Set the clock to an absolute ``timestamp``, rewinds allowed.
+
+        The crawl scheduler places every session at its plan-derived
+        start time; a shard worker visiting positions 2, 5, 3 of the
+        canonical plan (its own shard, plus intra-session drift) must be
+        able to move the clock to each session's absolute slot.  Only
+        the farm's scheduling uses this — event queues and milking keep
+        the monotonic :meth:`advance_to`.
+        """
+        if timestamp < 0:
+            raise ValueError("cannot seek before the epoch")
+        self._now = float(timestamp)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(t={self._now:.1f}s)"
 

@@ -10,6 +10,15 @@ paper's operational structure:
   the same UA, the §6 ethics constraint);
 * many container replicas run in parallel, so virtual wall-clock time
   advances by ``session_seconds / parallelism`` per session.
+
+Scheduling is *plan-derived*: :meth:`CrawlerFarm.plan_crawl` assigns
+every (domain, profile) session an absolute virtual start time and every
+residential session a laptop slot, both computed from the session's
+position in the canonical plan rather than from mutable loop state.
+That makes the schedule a pure function of (world config, farm config,
+publisher list), which is what lets :mod:`repro.parallel` carve the plan
+into deterministic shards whose merged output is byte-identical to a
+sequential crawl.
 """
 
 from __future__ import annotations
@@ -21,7 +30,21 @@ from typing import Iterator
 from repro.browser.useragent import PROFILES, UserAgentProfile
 from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
 from repro.ecosystem.world import World
-from repro.errors import TabCrashError, TransientError
+from repro.errors import ConfigError, TabCrashError, TransientError
+from repro.rng import derive
+
+
+def shard_index(domain: str, shard_count: int) -> int:
+    """The shard a publisher domain belongs to, out of ``shard_count``.
+
+    A stable hash of the domain itself (SHA-256 via :func:`repro.rng.derive`,
+    not Python's per-process ``hash``), so the partition is independent of
+    list order, process and platform — re-running with the same worker
+    count always reproduces the same shards.
+    """
+    if shard_count < 1:
+        raise ConfigError(f"shard count must be at least 1, got {shard_count}")
+    return derive(0, "crawl-shard", domain) % shard_count
 
 
 @dataclass(frozen=True)
@@ -53,6 +76,9 @@ class CrawlDataset:
     publishers_with_ads: set[str] = field(default_factory=set)
     #: Clicks charged to each non-SE landing e2LD (ethics accounting, §6).
     landing_click_counts: Counter = field(default_factory=Counter)
+    #: Residential-group domains the visit-fraction cap dropped (§4.1
+    #: bandwidth budget) — reported so the truncation is never silent.
+    residential_dropped: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
 
@@ -80,6 +106,58 @@ class CrawlBatch:
     interactions: list[AdInteraction]
     #: Virtual time when the domain's last session finished.
     clock: float
+    #: Index of the domain in the canonical crawl plan (-1 for batches
+    #: constructed outside a planned crawl); shard merging orders on it.
+    position: int = -1
+    #: Sessions this batch actually ran (0 when every profile's session
+    #: was already checkpointed).
+    sessions: int = 0
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One planned crawl unit: a publisher domain and its schedule keys."""
+
+    domain: str
+    residential: bool
+    #: Index in the canonical plan; session k of this entry starts at
+    #: ``plan.session_time(position, k)`` regardless of which worker (or
+    #: which resume) runs it.
+    position: int
+    #: Residential sessions scheduled before this entry — the base of the
+    #: laptop-rotation slots its own sessions occupy.
+    residential_base: int
+
+
+@dataclass(frozen=True)
+class CrawlPlan:
+    """The canonical crawl schedule: entries plus the virtual-time grid.
+
+    A pure function of (publisher list, farm config, world config,
+    ``started_at``); every party — the sequential farm, each shard
+    worker, and the merge step — derives the identical plan and therefore
+    the identical per-session clock values and laptop assignments.
+    """
+
+    entries: tuple[PlanEntry, ...]
+    started_at: float
+    time_step: float
+    profiles_per_domain: int
+    residential_dropped: int = 0
+
+    @property
+    def total_sessions(self) -> int:
+        return len(self.entries) * self.profiles_per_domain
+
+    def session_time(self, position: int, profile_index: int) -> float:
+        """Absolute virtual start time of one (domain, profile) session."""
+        index = position * self.profiles_per_domain + profile_index
+        return self.started_at + index * self.time_step
+
+    @property
+    def end_time(self) -> float:
+        """Virtual time when the whole crawl is over."""
+        return self.started_at + self.total_sessions * self.time_step
 
 
 @dataclass
@@ -128,6 +206,41 @@ class CrawlerFarm:
                 institutional.append(domain)
         return institutional, residential
 
+    def plan_crawl(self, publisher_domains: list[str], started_at: float) -> CrawlPlan:
+        """Lay out the canonical crawl schedule for ``publisher_domains``.
+
+        §4.1: the residential laptops only got through a fraction of
+        their group — but never zero of a non-empty group, and the
+        dropped count is carried on the plan so crawl stats report it.
+        """
+        config = self.config
+        institutional, residential = self.split_publisher_groups(publisher_domains)
+        residential_cap = 0
+        if residential and config.residential_visit_fraction > 0:
+            residential_cap = max(
+                1, int(len(residential) * config.residential_visit_fraction)
+            )
+        dropped = len(residential) - residential_cap
+        residential = residential[:residential_cap]
+        profiles_per_domain = len(config.profiles)
+        entries: list[PlanEntry] = []
+        residential_sessions = 0
+        for domain in institutional:
+            entries.append(
+                PlanEntry(domain, False, len(entries), residential_sessions)
+            )
+        for domain in residential:
+            entries.append(PlanEntry(domain, True, len(entries), residential_sessions))
+            residential_sessions += profiles_per_domain
+        time_step = self._time_step(len(entries) * profiles_per_domain)
+        return CrawlPlan(
+            entries=tuple(entries),
+            started_at=started_at,
+            time_step=time_step,
+            profiles_per_domain=profiles_per_domain,
+            residential_dropped=dropped,
+        )
+
     def crawl(
         self,
         publisher_domains: list[str],
@@ -136,20 +249,26 @@ class CrawlerFarm:
         """Crawl every listed publisher with every UA profile.
 
         The batch entry point: drains :meth:`crawl_incremental` and
-        returns the accumulated dataset.  Progress is checkpointed after
-        every completed session into :attr:`checkpoint`; pass a previous
-        crawl's checkpoint back in to skip the work it already finished
-        (crash recovery).
+        returns the drained checkpoint's dataset — *not* whatever
+        :attr:`checkpoint` currently aliases, so interleaved or nested
+        ``crawl()`` calls on one farm each get their own dataset back.
+        Progress is checkpointed after every completed session; pass a
+        previous crawl's checkpoint back in to skip the work it already
+        finished (crash recovery).
         """
-        batches = self.crawl_incremental(publisher_domains, checkpoint)
-        for _ in batches:
+        if checkpoint is None:
+            checkpoint = CrawlCheckpoint(
+                dataset=CrawlDataset(started_at=self.world.clock.now())
+            )
+        for _ in self.crawl_incremental(publisher_domains, checkpoint):
             pass
-        return self.checkpoint.dataset
+        return checkpoint.dataset
 
     def crawl_incremental(
         self,
         publisher_domains: list[str],
         checkpoint: CrawlCheckpoint | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> Iterator[CrawlBatch]:
         """Crawl lazily, yielding one :class:`CrawlBatch` per finished domain.
 
@@ -159,75 +278,141 @@ class CrawlerFarm:
         iterator mid-crawl leaves :attr:`checkpoint` resumable and
         ``dataset.finished_at`` unset.  Domains the checkpoint already
         completed are skipped without being re-yielded.
+
+        ``shard=(index, count)`` restricts the crawl to the plan entries
+        :func:`shard_index` assigns to shard ``index`` — their plan
+        positions (and so their session clock values and laptop slots)
+        are unchanged, which is how worker processes each crawl a
+        disjoint slice of the identical canonical plan.
         """
         world = self.world
-        config = self.config
         if checkpoint is None:
             checkpoint = CrawlCheckpoint(dataset=CrawlDataset(started_at=world.clock.now()))
         self.checkpoint = checkpoint
-        institutional, residential = self.split_publisher_groups(publisher_domains)
-        # §4.1: the residential laptops only got through a fraction.
-        residential_cap = int(len(residential) * config.residential_visit_fraction)
-        residential = residential[:residential_cap] if residential_cap else []
-        plan: list[tuple[str, bool]] = [(domain, False) for domain in institutional]
-        plan += [(domain, True) for domain in residential]
-        total_sessions = len(plan) * len(config.profiles)
-        time_step = self._time_step(total_sessions)
-        return self._drive(plan, checkpoint, time_step)
+        plan = self.plan_crawl(publisher_domains, checkpoint.dataset.started_at)
+        checkpoint.dataset.residential_dropped = plan.residential_dropped
+        entries = plan.entries
+        if shard is not None:
+            index, count = shard
+            if not 0 <= index < count:
+                raise ConfigError(f"shard index {index} outside 0..{count - 1}")
+            entries = tuple(
+                entry for entry in entries if shard_index(entry.domain, count) == index
+            )
+        return self._drive(entries, plan, checkpoint, partial=shard is not None)
 
     def _drive(
         self,
-        plan: list[tuple[str, bool]],
+        entries: tuple[PlanEntry, ...],
+        plan: CrawlPlan,
         checkpoint: CrawlCheckpoint,
-        time_step: float,
+        partial: bool = False,
     ) -> Iterator[CrawlBatch]:
-        """The session loop behind :meth:`crawl_incremental`."""
+        """The session loop behind :meth:`crawl_incremental`.
+
+        Every session seeks the world clock to its plan-derived start
+        time before running, so the virtual-time line each domain sees is
+        identical whether the plan runs sequentially, is resumed, or is
+        split across shard workers.  A ``partial`` drive (one shard)
+        leaves the end-of-crawl bookkeeping to the merge step.
+        """
         world = self.world
         config = self.config
         dataset = checkpoint.dataset
-        laptop_index = checkpoint.laptop_index
-        for domain, is_residential in plan:
-            if domain in checkpoint.completed_domains:
+        n_laptops = len(world.vantages_residential) or 1
+        for entry in entries:
+            if entry.domain in checkpoint.completed_domains:
                 continue
             batch: list[AdInteraction] = []
-            for profile in config.profiles:
-                key = (domain, profile.name)
-                if key in checkpoint.completed_sessions:
-                    continue
-                if is_residential:
-                    vantage = world.vantages_residential[
-                        laptop_index % len(world.vantages_residential)
-                    ]
-                    laptop_index += 1
-                else:
-                    vantage = world.vantage_institution
-                interactions = self._run_session(domain, profile, vantage)
-                dataset.sessions += 1
-                dataset.interactions.extend(interactions)
-                batch.extend(interactions)
-                for record in interactions:
-                    if record.landing_e2ld:
-                        dataset.landing_click_counts[record.landing_e2ld] += 1
-                world.clock.advance(time_step)
-                checkpoint.completed_sessions.add(key)
-                checkpoint.laptop_index = laptop_index
-            dataset.publishers_visited += 1
-            if is_residential:
-                dataset.publishers_residential += 1
-            else:
-                dataset.publishers_institutional += 1
-            # Derived from the dataset (not a loop-local flag) so a domain
-            # resumed mid-way still counts its pre-crash interactions.
-            if any(record.publisher_domain == domain for record in dataset.interactions):
-                dataset.publishers_with_ads.add(domain)
-            checkpoint.completed_domains.add(domain)
-            yield CrawlBatch(
-                domain=domain,
-                residential=is_residential,
-                interactions=batch,
-                clock=world.clock.now(),
+            sessions_run = 0
+            with world.internet.scoped(entry.domain):
+                for profile_index, profile in enumerate(config.profiles):
+                    key = (entry.domain, profile.name)
+                    if key in checkpoint.completed_sessions:
+                        continue
+                    world.clock.seek(plan.session_time(entry.position, profile_index))
+                    if entry.residential:
+                        vantage = world.vantages_residential[
+                            (entry.residential_base + profile_index) % n_laptops
+                        ]
+                    else:
+                        vantage = world.vantage_institution
+                    interactions = self._run_session(entry.domain, profile, vantage)
+                    dataset.sessions += 1
+                    sessions_run += 1
+                    dataset.interactions.extend(interactions)
+                    batch.extend(interactions)
+                    for record in interactions:
+                        if record.landing_e2ld:
+                            dataset.landing_click_counts[record.landing_e2ld] += 1
+                    checkpoint.completed_sessions.add(key)
+                    if entry.residential:
+                        checkpoint.laptop_index = (
+                            entry.residential_base + profile_index + 1
+                        )
+            yield self._complete_domain(
+                checkpoint, entry, batch, world.clock.now(), sessions_run
             )
-        dataset.finished_at = world.clock.now()
+        if not partial:
+            world.clock.seek(plan.end_time)
+            dataset.finished_at = plan.end_time
+
+    def _complete_domain(
+        self,
+        checkpoint: CrawlCheckpoint,
+        entry: PlanEntry,
+        interactions: list[AdInteraction],
+        batch_clock: float,
+        sessions_run: int,
+    ) -> CrawlBatch:
+        """Per-domain bookkeeping shared by the drive and merge paths."""
+        dataset = checkpoint.dataset
+        dataset.publishers_visited += 1
+        if entry.residential:
+            dataset.publishers_residential += 1
+        else:
+            dataset.publishers_institutional += 1
+        # Derived from the dataset (not a loop-local flag) so a domain
+        # resumed mid-way still counts its pre-crash interactions.
+        if any(
+            record.publisher_domain == entry.domain for record in dataset.interactions
+        ):
+            dataset.publishers_with_ads.add(entry.domain)
+        checkpoint.completed_domains.add(entry.domain)
+        return CrawlBatch(
+            domain=entry.domain,
+            residential=entry.residential,
+            interactions=interactions,
+            clock=batch_clock,
+            position=entry.position,
+            sessions=sessions_run,
+        )
+
+    def absorb_batch(
+        self, checkpoint: CrawlCheckpoint, entry: PlanEntry, batch: CrawlBatch
+    ) -> CrawlBatch:
+        """Replay a worker-produced batch into this farm's bookkeeping.
+
+        The merge half of sharded crawling: batches arrive in canonical
+        plan order and mutate the parent checkpoint/dataset exactly as
+        :meth:`_drive` would have, so downstream consumers cannot tell a
+        merged crawl from a sequential one.
+        """
+        dataset = checkpoint.dataset
+        dataset.sessions += batch.sessions
+        dataset.interactions.extend(batch.interactions)
+        for record in batch.interactions:
+            if record.landing_e2ld:
+                dataset.landing_click_counts[record.landing_e2ld] += 1
+        for profile in self.config.profiles:
+            checkpoint.completed_sessions.add((entry.domain, profile.name))
+        if entry.residential:
+            checkpoint.laptop_index = (
+                entry.residential_base + len(self.config.profiles)
+            )
+        return self._complete_domain(
+            checkpoint, entry, batch.interactions, batch.clock, batch.sessions
+        )
 
     def _run_session(
         self, domain: str, profile: UserAgentProfile, vantage

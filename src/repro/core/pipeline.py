@@ -32,6 +32,7 @@ the surviving store.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -64,11 +65,12 @@ from repro.core.seeds import (
 from repro.core.stages import StoreWriter, ingest_all
 from repro.ecosystem.world import World
 from repro.errors import ConfigError, StoreError
-from repro.faults.retry import Resilience, RetryPolicy
+from repro.faults.retry import RetryPolicy, ensure_resilience
 from repro.faults.stats import FaultStats
 from repro.store.base import (
     ATTRIBUTION,
     CAMPAIGNS,
+    HASHES,
     INTERACTIONS,
     MILKING,
     PROGRESS,
@@ -86,6 +88,8 @@ from repro.store.records import (
     progress_to_record,
     world_config_to_meta,
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -138,25 +142,13 @@ class SeacmaPipeline:
         caller asked for a specific retry policy; with retries disabled a
         never-retry policy is attached so every injected fault is felt
         (the degraded-mode experiment) while stats stay observable.
+        Shard workers apply the same function to their rebuilt worlds, so
+        parent and workers recover identically.
         """
-        internet = self.world.internet
-        if internet.fault_plan is None and self.retry_policy is None:
-            return
-        if internet.resilience is not None:
-            return
-        if not self.retries_enabled:
-            policy = RetryPolicy.disabled()
-        elif self.retry_policy is not None:
-            policy = self.retry_policy
-        else:
-            policy = RetryPolicy(seed=self.world.config.seed)
-        stats = (
-            internet.fault_plan.stats
-            if internet.fault_plan is not None
-            else FaultStats()
-        )
-        internet.resilience = Resilience(
-            retry=policy, clock=self.world.clock, stats=stats
+        ensure_resilience(
+            self.world,
+            retries_enabled=self.retries_enabled,
+            retry_policy=self.retry_policy,
         )
 
     def _require_publicwww(self):
@@ -253,6 +245,7 @@ class SeacmaPipeline:
         store: RunStore | None = None,
         with_milking: bool = True,
         batch_domains: int = 1,
+        workers: int = 1,
     ) -> "StreamingRun":
         """Begin a streaming run without driving it.
 
@@ -263,7 +256,11 @@ class SeacmaPipeline:
         if store is None:
             store = MemoryStore(run_id=f"seed-{self.world.config.seed}")
         return StreamingRun(
-            self, store, with_milking=with_milking, batch_domains=batch_domains
+            self,
+            store,
+            with_milking=with_milking,
+            batch_domains=batch_domains,
+            workers=workers,
         )
 
     def run_streaming(
@@ -271,6 +268,7 @@ class SeacmaPipeline:
         store: RunStore | None = None,
         with_milking: bool = True,
         batch_domains: int = 1,
+        workers: int = 1,
     ) -> PipelineResult:
         """Run the full pipeline in streaming mode.
 
@@ -280,9 +278,15 @@ class SeacmaPipeline:
         sets how many finished domains are grouped per analysis-stage
         ingest (any value produces the same results; it exists to bound
         per-ingest overhead and to let tests vary the batch schedule).
+        ``workers`` > 1 executes the crawl across that many worker
+        processes via :class:`repro.parallel.ShardedCrawlExecutor` —
+        results and store contents stay byte-identical to ``workers=1``.
         """
         run = self.start_streaming(
-            store, with_milking=with_milking, batch_domains=batch_domains
+            store,
+            with_milking=with_milking,
+            batch_domains=batch_domains,
+            workers=workers,
         )
         for _ in run.crawl_batches():
             pass
@@ -293,6 +297,7 @@ class SeacmaPipeline:
         store: RunStore,
         with_milking: bool = True,
         batch_domains: int = 1,
+        workers: int = 1,
     ) -> PipelineResult:
         """Continue a streaming run that stopped mid-crawl.
 
@@ -314,6 +319,7 @@ class SeacmaPipeline:
             store,
             with_milking=with_milking,
             batch_domains=batch_domains,
+            workers=workers,
             resume=True,
         )
         for _ in run.crawl_batches():
@@ -343,14 +349,18 @@ class StreamingRun:
         store: RunStore,
         with_milking: bool = True,
         batch_domains: int = 1,
+        workers: int = 1,
         resume: bool = False,
     ) -> None:
         if batch_domains < 1:
             raise ValueError("batch_domains must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.pipeline = pipeline
         self.store = store
         self.with_milking = with_milking
         self.batch_domains = batch_domains
+        self.workers = workers
         self.result = PipelineResult()
         self.result.patterns = pipeline.derive_patterns()
         self.result.publisher_domains = pipeline.reverse_publishers(
@@ -401,9 +411,12 @@ class StreamingRun:
         leaves the store resumable.
         """
         store = self.store
-        batches = self.farm.crawl_incremental(
-            self.result.publisher_domains, self._checkpoint
-        )
+        if self.workers > 1:
+            batches = self._parallel_batches()
+        else:
+            batches = self.farm.crawl_incremental(
+                self.result.publisher_domains, self._checkpoint
+            )
         for batch in batches:
             self.writer.ingest(batch.interactions)
             checkpoint = self.farm.checkpoint
@@ -424,6 +437,30 @@ class StreamingRun:
                 self._flush()
             yield batch
         self._flush()
+
+    def _parallel_batches(self) -> Iterator[CrawlBatch]:
+        """The sharded-executor crawl path (``workers`` > 1)."""
+        # Imported lazily: repro.parallel imports the world builder, which
+        # would cycle through this module at import time.
+        from repro.parallel import ShardedCrawlExecutor
+
+        pipeline = self.pipeline
+        segment_dir = getattr(self.store, "segment_dir", None)
+        if segment_dir is not None:
+            directory = segment_dir()
+        else:
+            import tempfile
+
+            directory = tempfile.mkdtemp(prefix="seacma-shards-")
+        executor = ShardedCrawlExecutor(
+            pipeline.world,
+            self.farm,
+            workers=self.workers,
+            segment_dir=directory,
+            retries_enabled=pipeline.retries_enabled,
+            retry_policy=pipeline.retry_policy,
+        )
+        return executor.run(self.result.publisher_domains, self._checkpoint)
 
     def _flush(self) -> None:
         """Feed buffered interactions to the analysis stages."""
@@ -511,13 +548,33 @@ class StreamingRun:
         progress = store.read(PROGRESS)
         raw = store.read(INTERACTIONS)
         expected_rows = progress[-1]["interaction_rows"] if progress else 0
-        if len(raw) != expected_rows:
+        if len(raw) < expected_rows:
             raise StoreError(
-                f"store {store.run_id!r} holds a torn crawl batch: "
-                f"{len(raw)} interaction rows but the last progress marker "
-                f"covers {expected_rows}; the run died mid-append — start "
-                "a fresh run (the streams cannot be trimmed in place)"
+                f"store {store.run_id!r} is missing crawl records: the last "
+                f"progress marker covers {expected_rows} interaction rows "
+                f"but only {len(raw)} survive; the interactions stream was "
+                "damaged after being acknowledged, so the run cannot be "
+                "trusted — start a fresh run"
             )
+        if len(raw) > expected_rows:
+            # The run died between appending a domain's interactions and
+            # writing its progress marker.  Those rows were never
+            # acknowledged — trim them (and their clustering views) and
+            # re-crawl the domain, exactly like a lost in-flight session.
+            logger.warning(
+                "store %r holds %d interaction rows past the last progress "
+                "marker (torn crawl batch); trimming and re-crawling",
+                store.run_id,
+                len(raw) - expected_rows,
+            )
+            store.truncate(INTERACTIONS, expected_rows)
+            hashes = store.read(HASHES)
+            keep = sum(1 for record in hashes if record["row"] < expected_rows)
+            store.truncate(HASHES, keep)
+            raw = raw[:expected_rows]
+            # The writer counted the trimmed rows; rebuild it on the
+            # repaired store so row numbering restarts at the right place.
+            self.writer = StoreWriter(store)
         interactions = [interaction_from_record(record) for record in raw]
         for row, record in enumerate(interactions):
             self.writer.rows_of[id(record)] = row

@@ -133,6 +133,12 @@ class FaultPlan:
         self.config = config if config is not None else FaultConfig()
         self.seed = seed
         self.stats = stats if stats is not None else FaultStats()
+        #: Crawl-unit label the next draws are charged to (set via
+        #: :meth:`repro.net.network.Internet.scoped`).  Keying the draw
+        #: counters by (scope, host) partitions the fault schedule with
+        #: the crawl plan: a shard worker crawling only its own domains
+        #: replays exactly the faults the sequential run injects there.
+        self.scope = ""
         self._fetch_draws: Counter = Counter()
         self._crash_draws: Counter = Counter()
 
@@ -147,8 +153,11 @@ class FaultPlan:
         config = self.config
         if config.rate <= 0.0:
             return None
-        self._fetch_draws[host] += 1
-        rng = rng_for(self.seed, "faults", "fetch", host, self._fetch_draws[host])
+        key = (self.scope, host)
+        self._fetch_draws[key] += 1
+        rng = rng_for(
+            self.seed, "faults", "fetch", self.scope, host, self._fetch_draws[key]
+        )
         if rng.random() >= config.rate:
             return None
         kinds = [kind for kind, _ in FETCH_KIND_WEIGHTS]
@@ -169,8 +178,11 @@ class FaultPlan:
         config = self.config
         if config.tab_crash_rate <= 0.0:
             return False
-        self._crash_draws[host] += 1
-        rng = rng_for(self.seed, "faults", "tab-crash", host, self._crash_draws[host])
+        key = (self.scope, host)
+        self._crash_draws[key] += 1
+        rng = rng_for(
+            self.seed, "faults", "tab-crash", self.scope, host, self._crash_draws[key]
+        )
         if rng.random() >= config.tab_crash_rate:
             return False
         self.stats.injected[FaultKind.TAB_CRASH.value] += 1

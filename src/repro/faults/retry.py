@@ -147,30 +147,40 @@ class CircuitBreaker:
 
 
 class BreakerRegistry:
-    """Lazily-created :class:`CircuitBreaker` per host."""
+    """Lazily-created :class:`CircuitBreaker` per (crawl scope, host).
+
+    Each crawl unit (publisher domain) gets its own breaker per host: a
+    real farm runs one container per session, so consecutive failures
+    only accumulate within one unit's traffic.  Scoping also keeps the
+    breaker state a pure function of that unit's request sequence, which
+    is what lets shard workers reproduce it independently.
+    """
 
     def __init__(self, failure_threshold: int = 3, cooldown: float = 300.0) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
-        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
 
     def __len__(self) -> int:
         return len(self._breakers)
 
-    def for_host(self, host: str) -> CircuitBreaker:
-        """The breaker guarding ``host`` (created on first use)."""
-        breaker = self._breakers.get(host)
+    def for_host(self, host: str, scope: str = "") -> CircuitBreaker:
+        """The breaker guarding ``host`` within ``scope`` (created lazily)."""
+        key = (scope, host)
+        breaker = self._breakers.get(key)
         if breaker is None:
             breaker = CircuitBreaker(host, self.failure_threshold, self.cooldown)
-            self._breakers[host] = breaker
+            self._breakers[key] = breaker
         return breaker
 
     def open_hosts(self) -> list[str]:
-        """Hosts whose breaker is currently open (health reporting)."""
+        """Hosts with at least one open breaker (health reporting)."""
         return sorted(
-            host
-            for host, breaker in self._breakers.items()
-            if breaker.state is BreakerState.OPEN
+            {
+                breaker.host
+                for breaker in self._breakers.values()
+                if breaker.state is BreakerState.OPEN
+            }
         )
 
 
@@ -191,5 +201,34 @@ class Resilience:
         """Spend one backoff delay: account the wait, count the retry."""
         delay = self.retry.backoff(attempt, *labels)
         self.stats.retries += 1
-        self.stats.delay_seconds += delay
+        self.stats.add_delay(delay)
         return delay
+
+
+def ensure_resilience(
+    world, retries_enabled: bool = True, retry_policy: RetryPolicy | None = None
+) -> None:
+    """Attach the recovery bundle to a world's internet when needed.
+
+    Resilience is attached whenever the world injects faults or the
+    caller asked for a specific retry policy; with retries disabled a
+    never-retry policy is attached so every injected fault is felt (the
+    degraded-mode experiment) while stats stay observable.  Shard worker
+    processes call this with the same arguments as the parent pipeline
+    so both sides run identical recovery machinery.
+    """
+    internet = world.internet
+    if internet.fault_plan is None and retry_policy is None:
+        return
+    if internet.resilience is not None:
+        return
+    if not retries_enabled:
+        policy = RetryPolicy.disabled()
+    elif retry_policy is not None:
+        policy = retry_policy
+    else:
+        policy = RetryPolicy(seed=world.config.seed)
+    stats = (
+        internet.fault_plan.stats if internet.fault_plan is not None else FaultStats()
+    )
+    internet.resilience = Resilience(retry=policy, clock=world.clock, stats=stats)

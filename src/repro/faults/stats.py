@@ -4,12 +4,20 @@ One :class:`FaultStats` instance is shared by the fault plan (which counts
 injections) and the resilience layer (which counts recoveries), so a single
 health report describes how degraded a run was and how much of the damage
 the retry/breaker machinery absorbed.
+
+Delay accounting keeps the individual delay terms and sums them with
+:func:`math.fsum`, which is exact and therefore independent of the order
+the delays were observed in — the property that lets shard workers'
+stats merge back into the parent's without a float drifting from the
+sequential run.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -36,10 +44,20 @@ class FaultStats:
     sessions_lost: int = 0
     #: Failed milk attempts rescheduled instead of waiting a full round.
     milk_reschedules: int = 0
-    #: Virtual seconds containers spent waiting on faults and backoffs.
-    #: Accounted here rather than advanced on the world clock: a stalled
-    #: container doesn't stall the (parallel) experiment.
-    delay_seconds: float = 0.0
+    #: Virtual seconds containers spent waiting on faults and backoffs,
+    #: one term per wait.  Accounted here rather than advanced on the
+    #: world clock: a stalled container doesn't stall the (parallel)
+    #: experiment.
+    delay_terms: list = field(default_factory=list)
+
+    @property
+    def delay_seconds(self) -> float:
+        """Total virtual seconds spent waiting (exact, order-independent)."""
+        return math.fsum(self.delay_terms)
+
+    def add_delay(self, seconds: float) -> None:
+        """Account one fault/backoff wait."""
+        self.delay_terms.append(seconds)
 
     @property
     def faults_injected(self) -> int:
@@ -50,6 +68,52 @@ class FaultStats:
     def degraded(self) -> bool:
         """Whether any fault survived past the recovery machinery."""
         return bool(self.failed_fetches or self.sessions_lost)
+
+    def merge(self, other: "FaultStats") -> None:
+        """Fold another instance's counters into this one.
+
+        Every field is a sum (or multiset, for the delay terms), so
+        merging per-shard stats in any order reproduces the counters a
+        sequential run accumulates.
+        """
+        self.injected.update(other.injected)
+        self.retries += other.retries
+        self.recovered_fetches += other.recovered_fetches
+        self.failed_fetches += other.failed_fetches
+        self.breaker_trips += other.breaker_trips
+        self.breaker_fast_fails += other.breaker_fast_fails
+        self.sessions_crashed += other.sessions_crashed
+        self.sessions_resumed += other.sessions_resumed
+        self.sessions_lost += other.sessions_lost
+        self.milk_reschedules += other.milk_reschedules
+        self.delay_terms.extend(other.delay_terms)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-compatible dump that :meth:`restore` inverts exactly.
+
+        Used by shard workers to ship their stats back to the parent;
+        unlike :meth:`as_dict` nothing is rounded or flattened.
+        """
+        return {
+            "injected": dict(self.injected),
+            "retries": self.retries,
+            "recovered_fetches": self.recovered_fetches,
+            "failed_fetches": self.failed_fetches,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "sessions_crashed": self.sessions_crashed,
+            "sessions_resumed": self.sessions_resumed,
+            "sessions_lost": self.sessions_lost,
+            "milk_reschedules": self.milk_reschedules,
+            "delay_terms": list(self.delay_terms),
+        }
+
+    @classmethod
+    def restore(cls, data: dict[str, Any]) -> "FaultStats":
+        """Inverse of :meth:`snapshot`."""
+        stats = cls(**{key: value for key, value in data.items() if key != "injected"})
+        stats.injected = Counter(data.get("injected", {}))
+        return stats
 
     def as_dict(self) -> dict[str, int]:
         """Flat counter view (health report / JSON export)."""

@@ -9,8 +9,9 @@ JS navigation) are handled by :mod:`repro.browser`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.clock import SimClock
 from repro.errors import DnsError, FetchError, RedirectLoopError, UrlError
@@ -66,6 +67,25 @@ class Internet:
         self.fault_plan = fault_plan
         self.resilience: "Resilience | None" = None
         self._fetch_count = 0
+        #: Label of the crawl unit driving the current requests ("" when
+        #: no crawl session is active).  Scope keys every request-order-
+        #: dependent stream (ad decisions, fault draws, breakers) so one
+        #: crawl unit's traffic cannot perturb another's.
+        self.scope = ""
+
+    @contextmanager
+    def scoped(self, label: str) -> Iterator[None]:
+        """Attribute all requests inside the block to crawl unit ``label``."""
+        previous = self.scope
+        self.scope = label
+        if self.fault_plan is not None:
+            self.fault_plan.scope = label
+        try:
+            yield
+        finally:
+            self.scope = previous
+            if self.fault_plan is not None:
+                self.fault_plan.scope = previous
 
     @property
     def fault_stats(self) -> "FaultStats | None":
@@ -99,7 +119,7 @@ class Internet:
         the retry budget runs out the typed
         :class:`~repro.errors.TransientError` escapes to the caller.
         """
-        context = FetchContext(clock=self.clock, internet=self)
+        context = FetchContext(clock=self.clock, internet=self, scope=self.scope)
         chain: list[Url] = []
         retries = 0
         current = request
@@ -149,7 +169,11 @@ class Internet:
         """
         host = request.url.host
         resilience = self.resilience
-        breaker = resilience.breakers.for_host(host) if resilience is not None else None
+        breaker = (
+            resilience.breakers.for_host(host, self.scope)
+            if resilience is not None
+            else None
+        )
         if breaker is not None and not breaker.allow(self.clock.now()):
             # Fast-fail mirrors the outcome that tripped the breaker so
             # consumers see the same failure shape as a real attempt.
@@ -163,14 +187,14 @@ class Internet:
         spent = 0.0
         if event is not None and event.kind is FaultKind.SLOW_RESPONSE:
             if stats is not None:
-                stats.delay_seconds += event.delay  # slow but successful transfer
+                stats.add_delay(event.delay)  # slow but successful transfer
             event = None
         while event is not None and attempt < event.burst:
             # The container waits out the timeout; the wait is accounted,
             # not advanced on the world clock (parallel containers).
             spent += event.delay
             if stats is not None:
-                stats.delay_seconds += event.delay
+                stats.add_delay(event.delay)
             if resilience is not None and resilience.retry.should_retry(attempt, spent):
                 spent += resilience.backoff(attempt, "fetch", host)
                 attempt += 1
@@ -196,6 +220,12 @@ class Internet:
         if attempt > 0 and stats is not None:
             stats.recovered_fetches += 1
         return response, False, attempt
+
+    def absorb_fetch_count(self, count: int) -> None:
+        """Account requests served elsewhere (merged-in shard workers)."""
+        if count < 0:
+            raise ValueError("fetch count cannot be negative")
+        self._fetch_count += count
 
     def host_alive(self, host: str) -> bool:
         """Whether ``host`` currently resolves."""

@@ -22,13 +22,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class FetchContext:
     """Per-request context handed to servers.
 
-    Carries the virtual clock (so servers can rotate content over time) and
-    a back-reference to the internet (so redirectors can consult other
-    services when composing chains).
+    Carries the virtual clock (so servers can rotate content over time), a
+    back-reference to the internet (so redirectors can consult other
+    services when composing chains), and the crawl *scope* — the label of
+    the crawl unit (publisher domain) driving this request, or ``""``
+    outside the farm.  Servers key their per-visitor random streams by
+    scope so the decisions one crawl unit sees are independent of every
+    other unit's request order (the property parallel sharding relies on).
     """
 
     clock: "SimClock"
     internet: "Internet"
+    scope: str = ""
 
     @property
     def now(self) -> float:

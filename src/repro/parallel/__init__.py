@@ -1,0 +1,16 @@
+"""Deterministic process-parallel crawling.
+
+The crawl plan is partitioned into K shards by a stable hash of each
+publisher domain (:func:`~repro.core.farm.shard_index`); every shard runs
+in its own worker process against a private :class:`~repro.ecosystem.world.World`
+rehydrated from the same :class:`~repro.ecosystem.world.WorldConfig`, and
+the resulting batch streams are merged back into canonical plan order —
+so downstream stages see a byte-identical event sequence to a sequential
+crawl.  See ``DESIGN.md`` ("Parallel crawl") for the determinism
+argument.
+"""
+
+from repro.core.farm import shard_index
+from repro.parallel.executor import ShardedCrawlExecutor, ShardSpec, run_shard
+
+__all__ = ["ShardedCrawlExecutor", "ShardSpec", "run_shard", "shard_index"]

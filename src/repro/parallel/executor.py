@@ -1,0 +1,386 @@
+"""The sharded crawl executor: worker processes + plan-order merge.
+
+Parallelism model (see ``DESIGN.md``, "Parallel crawl"):
+
+* the parent computes the canonical :class:`~repro.core.farm.CrawlPlan`
+  and assigns each plan entry to a shard with
+  :func:`~repro.core.farm.shard_index` (a stable hash of the publisher
+  domain, independent of list order, process and platform);
+* each worker process rebuilds its own simulated world from the shared
+  :class:`~repro.ecosystem.world.WorldConfig`, crawls only its shard's
+  entries — at those entries' *plan* clock times and laptop slots — and
+  streams the finished batches into a JSONL segment file;
+* the parent tails the segments and re-emits the batches in canonical
+  plan order, replaying each into its own farm bookkeeping
+  (:meth:`~repro.core.farm.CrawlerFarm.absorb_batch`), then reconciles
+  the side-band state (fault stats, ad-network impression counters,
+  fetch count, the virtual clock, campaign domain pools) so the parent
+  world ends the crawl in the same state a sequential crawl leaves it.
+
+Because every request-order-dependent stream in the simulation is keyed
+by crawl scope (the publisher domain driving the traffic), a domain's
+sessions produce identical interactions no matter which process runs
+them or what else runs beside them — which is what makes the merged
+stream byte-identical to the sequential one.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.farm import (
+    CrawlBatch,
+    CrawlCheckpoint,
+    CrawlDataset,
+    CrawlerFarm,
+    CrawlPlan,
+    FarmConfig,
+    PlanEntry,
+    shard_index,
+)
+from repro.ecosystem.world import WorldConfig, build_world
+from repro.errors import ConfigError, ReproError
+from repro.faults.retry import RetryPolicy, ensure_resilience
+from repro.faults.stats import FaultStats
+from repro.store.segments import (
+    SegmentReader,
+    batch_from_segment_record,
+    batch_to_segment_record,
+    segment_path,
+    summary_to_segment_record,
+)
+
+#: Parent-side poll interval while waiting for the next in-order batch.
+_POLL_SECONDS = 0.01
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker process needs to crawl its shard.
+
+    Fully picklable and self-contained: the worker rebuilds its world
+    from ``world_config`` alone, so the spec works under both ``fork``
+    and ``spawn`` start methods.
+    """
+
+    world_config: WorldConfig
+    farm_config: FarmConfig
+    retries_enabled: bool
+    retry_policy: RetryPolicy | None
+    publisher_domains: tuple[str, ...]
+    started_at: float
+    completed_domains: frozenset[str]
+    shard: int
+    shard_count: int
+    segment_path: str
+
+
+def run_shard(spec: ShardSpec) -> None:
+    """Worker entry point: crawl one shard into its segment file.
+
+    Runs in a child process.  Any exception is recorded as a final
+    ``error`` record in the segment (so the parent can report *why* the
+    shard died, not just that it did) and then re-raised to fail the
+    process.
+    """
+    path = Path(spec.segment_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+
+        def emit(record: dict) -> None:
+            handle.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+
+        try:
+            world = build_world(spec.world_config)
+            ensure_resilience(
+                world,
+                retries_enabled=spec.retries_enabled,
+                retry_policy=spec.retry_policy,
+            )
+            farm = CrawlerFarm(world, spec.farm_config)
+            checkpoint = CrawlCheckpoint(
+                dataset=CrawlDataset(started_at=spec.started_at)
+            )
+            checkpoint.completed_domains = set(spec.completed_domains)
+            batches = farm.crawl_incremental(
+                list(spec.publisher_domains),
+                checkpoint,
+                shard=(spec.shard, spec.shard_count),
+            )
+            for batch in batches:
+                emit(batch_to_segment_record(batch))
+            stats = world.internet.fault_stats
+            emit(
+                summary_to_segment_record(
+                    shard=spec.shard,
+                    fault_stats=stats.snapshot() if stats is not None else None,
+                    network_counters={
+                        key: {
+                            "impressions": server.impressions,
+                            "se_impressions": server.se_impressions,
+                            "syndicated_impressions": server.syndicated_impressions,
+                        }
+                        for key, server in world.networks.items()
+                    },
+                    fetch_count=world.internet.fetch_count,
+                )
+            )
+        except Exception as error:  # noqa: BLE001 - forwarded to the parent
+            emit({"kind": "error", "shard": spec.shard, "message": str(error)})
+            raise
+
+
+class ShardedCrawlExecutor:
+    """Runs a farm crawl across worker processes, merged in plan order.
+
+    A drop-in replacement for
+    :meth:`~repro.core.farm.CrawlerFarm.crawl_incremental`: :meth:`run`
+    yields the same :class:`~repro.core.farm.CrawlBatch` sequence — same
+    order, same contents, same clock values — while the sessions actually
+    execute K-wide in child processes.
+    """
+
+    def __init__(
+        self,
+        world,
+        farm: CrawlerFarm,
+        workers: int,
+        segment_dir: str | Path,
+        retries_enabled: bool = True,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be at least 1, got {workers}")
+        self.world = world
+        self.farm = farm
+        self.workers = workers
+        self.segment_dir = Path(segment_dir)
+        self.retries_enabled = retries_enabled
+        self.retry_policy = retry_policy
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        publisher_domains: list[str],
+        checkpoint: CrawlCheckpoint | None = None,
+    ) -> Iterator[CrawlBatch]:
+        """Crawl ``publisher_domains`` with worker processes.
+
+        Yields finished batches in canonical plan order as soon as each
+        becomes available, updating ``checkpoint`` (and the farm's
+        dataset) exactly as the sequential drive would.
+        """
+        world = self.world
+        farm = self.farm
+        if checkpoint is None:
+            checkpoint = CrawlCheckpoint(
+                dataset=CrawlDataset(started_at=world.clock.now())
+            )
+        farm.checkpoint = checkpoint
+        plan = farm.plan_crawl(publisher_domains, checkpoint.dataset.started_at)
+        checkpoint.dataset.residential_dropped = plan.residential_dropped
+        pending = [
+            entry
+            for entry in plan.entries
+            if entry.domain not in checkpoint.completed_domains
+        ]
+        processes, readers = self._spawn(publisher_domains, checkpoint, plan)
+        summaries: list[dict] = []
+        try:
+            yield from self._merge(pending, processes, readers, summaries)
+            # Workers write their summary *after* their last batch; the
+            # merge only waits for batches, so wait for every summary
+            # before the finally block may terminate a mid-write worker.
+            self._await_summaries(processes, readers, summaries)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join()
+        self._reconcile(plan, checkpoint, summaries)
+        shutil.rmtree(self.segment_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _spawn(
+        self,
+        publisher_domains: list[str],
+        checkpoint: CrawlCheckpoint,
+        plan: CrawlPlan,
+    ) -> tuple[list, list[SegmentReader]]:
+        """Start one worker per shard (fork when available, else spawn)."""
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        processes = []
+        readers = []
+        for shard in range(self.workers):
+            path = segment_path(self.segment_dir, shard, self.workers)
+            spec = ShardSpec(
+                world_config=self.world.config,
+                farm_config=self.farm.config,
+                retries_enabled=self.retries_enabled,
+                retry_policy=self.retry_policy,
+                publisher_domains=tuple(publisher_domains),
+                started_at=checkpoint.dataset.started_at,
+                completed_domains=frozenset(checkpoint.completed_domains),
+                shard=shard,
+                shard_count=self.workers,
+                segment_path=str(path),
+            )
+            process = context.Process(
+                target=run_shard, args=(spec,), name=f"crawl-shard-{shard}"
+            )
+            process.start()
+            processes.append(process)
+            readers.append(SegmentReader(path))
+        return processes, readers
+
+    def _merge(
+        self,
+        pending: list[PlanEntry],
+        processes: list,
+        readers: list[SegmentReader],
+        summaries: list[dict],
+    ) -> Iterator[CrawlBatch]:
+        """Re-emit worker batches in canonical plan order."""
+        world = self.world
+        farm = self.farm
+        checkpoint = farm.checkpoint
+        arrived: dict[int, CrawlBatch] = {}
+        for entry in pending:
+            shard = shard_index(entry.domain, self.workers)
+            while entry.position not in arrived:
+                progressed = self._drain(readers, arrived, summaries)
+                if entry.position in arrived:
+                    break
+                process = processes[shard]
+                if not process.is_alive() and process.exitcode not in (0, None):
+                    raise ReproError(
+                        f"crawl shard {shard} (pid {process.pid}) exited with "
+                        f"code {process.exitcode} before finishing "
+                        f"{entry.domain!r}{self._shard_error(readers[shard])}"
+                    )
+                if not progressed:
+                    time.sleep(_POLL_SECONDS)
+            batch = arrived.pop(entry.position)
+            # Mirror the sequential drive: the parent clock tracks the
+            # just-finished domain's last session between yields.
+            world.clock.seek(batch.clock)
+            yield farm.absorb_batch(checkpoint, entry, batch)
+
+    def _await_summaries(
+        self,
+        processes: list,
+        readers: list[SegmentReader],
+        summaries: list[dict],
+    ) -> None:
+        """Block until every shard's summary record has been read."""
+        leftovers: dict[int, CrawlBatch] = {}
+        while len(summaries) < self.workers:
+            progressed = self._drain(readers, leftovers, summaries)
+            if len(summaries) >= self.workers:
+                return
+            delivered = {record["shard"] for record in summaries}
+            exited_cleanly = False
+            for shard, process in enumerate(processes):
+                if shard in delivered or process.is_alive():
+                    continue
+                if process.exitcode not in (0, None):
+                    raise ReproError(
+                        f"crawl shard {shard} (pid {process.pid}) exited "
+                        f"with code {process.exitcode} before delivering "
+                        f"its summary record{self._shard_error(readers[shard])}"
+                    )
+                exited_cleanly = True
+            if not progressed:
+                if exited_cleanly:
+                    # Dead with exit 0 means its segment is fully flushed;
+                    # nothing new to read and still no summary is a bug.
+                    raise ReproError(
+                        "a crawl shard exited without writing its summary "
+                        "record; the crawl is incomplete"
+                    )
+                time.sleep(_POLL_SECONDS)
+
+    def _drain(
+        self,
+        readers: list[SegmentReader],
+        arrived: dict[int, CrawlBatch],
+        summaries: list[dict],
+    ) -> bool:
+        """Pull newly completed records from every segment."""
+        progressed = False
+        for reader in readers:
+            for record in reader.poll():
+                progressed = True
+                kind = record.get("kind")
+                if kind == "batch":
+                    batch = batch_from_segment_record(record)
+                    arrived[batch.position] = batch
+                elif kind == "summary":
+                    summaries.append(record)
+                elif kind == "error":
+                    raise ReproError(
+                        f"crawl shard {record.get('shard')} failed: "
+                        f"{record.get('message')}"
+                    )
+        return progressed
+
+    @staticmethod
+    def _shard_error(reader: SegmentReader) -> str:
+        """A trailing error record's message, if the worker left one."""
+        try:
+            for record in reader.poll():
+                if record.get("kind") == "error":
+                    return f": {record.get('message')}"
+        except ReproError:
+            pass
+        return ""
+
+    def _reconcile(
+        self,
+        plan: CrawlPlan,
+        checkpoint: CrawlCheckpoint,
+        summaries: list[dict],
+    ) -> None:
+        """Bring the parent world to the sequential end-of-crawl state."""
+        world = self.world
+        if len(summaries) != self.workers:
+            raise ReproError(
+                f"only {len(summaries)} of {self.workers} crawl shards "
+                "delivered a summary record; the crawl is incomplete"
+            )
+        parent_stats = world.internet.fault_stats
+        for summary in sorted(summaries, key=lambda record: record["shard"]):
+            snapshot = summary.get("fault_stats")
+            if snapshot is not None and parent_stats is not None:
+                parent_stats.merge(FaultStats.restore(snapshot))
+            for key, counters in summary.get("networks", {}).items():
+                server = world.networks.get(key)
+                if server is None:
+                    continue
+                server.impressions += counters["impressions"]
+                server.se_impressions += counters["se_impressions"]
+                server.syndicated_impressions += counters["syndicated_impressions"]
+            world.internet.absorb_fetch_count(summary.get("fetch_count", 0))
+        world.clock.seek(plan.end_time)
+        checkpoint.dataset.finished_at = plan.end_time
+        # The workers' campaign servers rotated their throwaway-domain
+        # pools while serving; pool schedules are a pure function of the
+        # latest time queried, so one end-of-crawl rotation reproduces the
+        # activations (and their GSB feed events, stamped with activation
+        # time) the sequential crawl accumulated.
+        for campaign in world.campaigns:
+            campaign.active_attack_domain(plan.end_time)

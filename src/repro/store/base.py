@@ -70,6 +70,15 @@ class RunStore(Protocol):
         """Names of the streams that hold at least one record."""
         ...
 
+    def truncate(self, stream: str, keep: int) -> None:
+        """Drop every record of ``stream`` past the first ``keep``.
+
+        The one sanctioned departure from append-only: crash recovery
+        trims unacknowledged records (rows past the last progress marker)
+        before continuing a run.
+        """
+        ...
+
     def put_meta(self, key: str, value: Any) -> None:
         """Set a run-level metadata value (appends to the meta stream)."""
         ...
@@ -103,6 +112,9 @@ class StoreBase:
         raise NotImplementedError
 
     def streams(self) -> list[str]:
+        raise NotImplementedError
+
+    def truncate(self, stream: str, keep: int) -> None:
         raise NotImplementedError
 
     # ------------------------------------------------------------- metadata

@@ -18,6 +18,7 @@ reloads the directory and continues from the last progress marker.
 from __future__ import annotations
 
 import json
+import logging
 import re
 from pathlib import Path
 from typing import Any, IO, Mapping
@@ -26,6 +27,8 @@ from repro.errors import StoreError
 from repro.store.base import META, StoreBase
 
 _STREAM_NAME = re.compile(r"^[a-z][a-z0-9_-]*$")
+
+logger = logging.getLogger(__name__)
 
 
 class JsonlStore(StoreBase):
@@ -68,12 +71,49 @@ class JsonlStore(StoreBase):
             raise StoreError(f"invalid stream name: {stream!r}")
         return self.directory / f"{stream}.jsonl"
 
+    def segment_dir(self) -> Path:
+        """Scratch directory for parallel-crawl shard segments.
+
+        Lives beside the streams but outside their ``*.jsonl`` namespace,
+        so :meth:`streams` and the canonical store contents are unchanged
+        whether or not a run was sharded.
+        """
+        return self.directory / "shards"
+
     def _handle(self, stream: str) -> IO[str]:
         handle = self._handles.get(stream)
         if handle is None:
-            handle = self._stream_path(stream).open("a", encoding="utf-8")
+            path = self._stream_path(stream)
+            self._repair_tail(path)
+            handle = path.open("a", encoding="utf-8")
             self._handles[stream] = handle
         return handle
+
+    def _repair_tail(self, path: Path) -> None:
+        """Truncate a torn trailing record before appending after it.
+
+        A process killed mid-``write`` leaves a partial final line;
+        appending behind it would corrupt the *next* record too, so the
+        tail is cut back to the last complete record first.
+        """
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        if not data:
+            return
+        end = data.rfind(b"\n")
+        keep = data[: end + 1] if end >= 0 else b""
+        tail = data[end + 1 :] if end >= 0 else data
+        if not tail.strip():
+            return
+        logger.warning(
+            "truncating torn trailing record (%d bytes) in %s before append",
+            len(tail),
+            path,
+        )
+        with path.open("r+b") as handle:
+            handle.truncate(len(keep))
+        self._counts.pop(path.stem, None)
 
     # ------------------------------------------------------------- protocol
 
@@ -86,21 +126,41 @@ class JsonlStore(StoreBase):
         self._counts[stream] = before + 1
 
     def read(self, stream: str) -> list[dict[str, Any]]:
+        """All records in ``stream``, tolerating a torn trailing record.
+
+        A process killed mid-append leaves a partial final line; that is
+        expected crash damage (the record was never acknowledged), so it
+        is skipped with a warning rather than raised.  Corruption
+        *before* the final line still raises — it cannot be explained by
+        a crash and silently dropping acknowledged records would be worse
+        than failing.
+        """
         path = self._stream_path(stream)
         if not path.exists():
             return []
+        data = path.read_bytes()
+        lines = data.split(b"\n")
         records: list[dict[str, Any]] = []
-        with path.open("r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
+        last_index = len(lines) - 1
+        for index, raw in enumerate(lines):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                records.append(json.loads(raw))
+            except json.JSONDecodeError as error:
+                if index == last_index:
+                    # No trailing newline: the final append was torn.
+                    logger.warning(
+                        "skipping torn trailing record (%d bytes) at %s:%d",
+                        len(raw),
+                        path,
+                        index + 1,
+                    )
                     continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError as error:
-                    raise StoreError(
-                        f"corrupt record at {path}:{line_no}: {error}"
-                    ) from error
+                raise StoreError(
+                    f"corrupt record at {path}:{index + 1}: {error}"
+                ) from error
         return records
 
     def count(self, stream: str) -> int:
@@ -116,6 +176,22 @@ class JsonlStore(StoreBase):
             for path in self.directory.glob("*.jsonl")
             if path.stat().st_size > 0
         )
+
+    def truncate(self, stream: str, keep: int) -> None:
+        if keep < 0:
+            raise StoreError("keep must be non-negative")
+        path = self._stream_path(stream)
+        if not path.exists():
+            return
+        handle = self._handles.pop(stream, None)
+        if handle is not None:
+            handle.close()
+        records = self.read(stream)[:keep]
+        with path.open("w", encoding="utf-8") as out:
+            for record in records:
+                out.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+                out.write("\n")
+        self._counts[stream] = len(records)
 
     def close(self) -> None:
         """Close every open file handle (appends reopen lazily)."""

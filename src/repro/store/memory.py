@@ -31,6 +31,13 @@ class MemoryStore(StoreBase):
     def streams(self) -> list[str]:
         return sorted(name for name, records in self._streams.items() if records)
 
+    def truncate(self, stream: str, keep: int) -> None:
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        records = self._streams.get(stream)
+        if records is not None:
+            del records[keep:]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = {name: len(records) for name, records in self._streams.items()}
         return f"MemoryStore(run_id={self.run_id!r}, streams={sizes})"

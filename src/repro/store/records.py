@@ -314,6 +314,7 @@ def crawl_summary_to_meta(dataset: CrawlDataset) -> dict[str, Any]:
         "publishers_residential": dataset.publishers_residential,
         "publishers_with_ads": sorted(dataset.publishers_with_ads),
         "landing_click_counts": dict(dataset.landing_click_counts),
+        "residential_dropped": dataset.residential_dropped,
         "started_at": dataset.started_at,
         "finished_at": dataset.finished_at,
     }
@@ -331,6 +332,8 @@ def crawl_summary_from_meta(
         publishers_residential=data["publishers_residential"],
         publishers_with_ads=set(data["publishers_with_ads"]),
         landing_click_counts=Counter(data["landing_click_counts"]),
+        # Absent in stores written before the cap was reported.
+        residential_dropped=data.get("residential_dropped", 0),
         started_at=data["started_at"],
         finished_at=data["finished_at"],
     )

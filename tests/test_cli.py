@@ -100,3 +100,70 @@ class TestStreaming:
         assert capsys.readouterr().out.startswith("# SEACMA measurement report")
         assert main(["tables", "--from-store", str(store_dir)]) == 0
         assert "TABLE 1" in capsys.readouterr().out
+
+
+class TestStoreErrorPaths:
+    """Operational store failures must exit non-zero with a one-line
+    message on stderr — never a traceback."""
+
+    def test_resume_missing_dir(self, tmp_path, capsys):
+        code = main(["resume", str(tmp_path / "nowhere")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "no run store" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_resume_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["resume", str(empty)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "no run store" in captured.err
+
+    def test_report_from_store_missing_dir(self, tmp_path, capsys):
+        code = main(["report", "--from-store", str(tmp_path / "nope")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_tables_from_store_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "blank"
+        empty.mkdir()
+        code = main(["tables", "--from-store", str(empty)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWorkersFlag:
+    def test_workers_require_stream(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--workers", "2"])
+        assert "--stream" in capsys.readouterr().err
+
+    def test_zero_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--stream", "--workers", "0"])
+
+    def test_streamed_run_with_workers(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--stream",
+                "--workers",
+                "2",
+                "--seed",
+                "3",
+                "--days",
+                "0.5",
+                "--no-milking",
+                "--store-dir",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "crawled" in output
+        assert (tmp_path / "store" / "interactions.jsonl").exists()

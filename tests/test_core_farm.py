@@ -93,3 +93,86 @@ class TestCrawl:
         dataset = farm.crawl(domains)
         # 40 sessions at 120s/100 each, plus click think-time.
         assert dataset.duration < 600.0
+
+
+class TestResidentialCap:
+    """§4.1 visit-fraction cap: small groups must never be dropped whole."""
+
+    def _residential_domains(self, world, count):
+        _, residential = CrawlerFarm(world).split_publisher_groups(
+            [site.domain for site in world.publishers]
+        )
+        assert len(residential) >= count
+        return residential[:count]
+
+    def test_small_group_keeps_at_least_one_domain(self, fresh_world):
+        # int(3 * 0.25) == 0 used to floor the cap to zero, silently
+        # dropping every residential domain of a small group.
+        farm = CrawlerFarm(
+            fresh_world, FarmConfig(residential_visit_fraction=0.25)
+        )
+        domains = self._residential_domains(fresh_world, 3)
+        plan = farm.plan_crawl(domains, started_at=0.0)
+        residential_entries = [e for e in plan.entries if e.residential]
+        assert len(residential_entries) == 1
+        assert plan.residential_dropped == 2
+
+    def test_dropped_count_reaches_crawl_stats(self, fresh_world):
+        farm = CrawlerFarm(
+            fresh_world,
+            FarmConfig(
+                residential_visit_fraction=0.25,
+                crawler=CrawlerConfig(max_ads=1),
+            ),
+        )
+        domains = self._residential_domains(fresh_world, 3)
+        dataset = farm.crawl(domains)
+        assert dataset.publishers_residential == 1
+        assert dataset.residential_dropped == 2
+
+    def test_zero_fraction_still_drops_everything(self, fresh_world):
+        farm = CrawlerFarm(fresh_world, FarmConfig(residential_visit_fraction=0.0))
+        domains = self._residential_domains(fresh_world, 3)
+        plan = farm.plan_crawl(domains, started_at=0.0)
+        assert not any(entry.residential for entry in plan.entries)
+        assert plan.residential_dropped == 3
+
+
+class TestInterleavedCrawls:
+    """crawl() must return the drained checkpoint's dataset, not whatever
+    ``farm.checkpoint`` happens to alias at return time."""
+
+    def test_completed_recrawl_survives_interleaved_start(self, fresh_world):
+        farm = CrawlerFarm(fresh_world, FarmConfig(crawler=CrawlerConfig(max_ads=1)))
+        domains = [site.domain for site in fresh_world.publishers[:4]]
+        others = [site.domain for site in fresh_world.publishers[4:8]]
+        dataset = farm.crawl(domains)
+        checkpoint = farm.checkpoint
+        # Starting another crawl re-points farm.checkpoint before the
+        # completed re-crawl returns; the old code returned that
+        # stranger's (empty) dataset.
+        interloper = farm.crawl_incremental(others)
+        again = farm.crawl(domains, checkpoint=checkpoint)
+        assert again is dataset
+        interloper.close()
+
+    def test_interleaved_incremental_and_batch_crawls(self, fresh_world):
+        from repro.core.farm import CrawlCheckpoint, CrawlDataset
+
+        farm = CrawlerFarm(fresh_world, FarmConfig(crawler=CrawlerConfig(max_ads=1)))
+        list_a = [site.domain for site in fresh_world.publishers[:3]]
+        list_b = [site.domain for site in fresh_world.publishers[3:6]]
+        checkpoint_a = CrawlCheckpoint(
+            dataset=CrawlDataset(started_at=fresh_world.clock.now())
+        )
+        crawl_a = farm.crawl_incremental(list_a, checkpoint_a)
+        next(crawl_a)  # crawl A is now in flight
+        dataset_b = farm.crawl(list_b)
+        for _ in crawl_a:
+            pass
+        domains_b = {r.publisher_domain for r in dataset_b.interactions}
+        domains_a = {r.publisher_domain for r in checkpoint_a.dataset.interactions}
+        assert domains_b <= set(list_b)
+        assert domains_a <= set(list_a)
+        assert dataset_b is not checkpoint_a.dataset
+        assert checkpoint_a.dataset.publishers_visited == 3

@@ -1,0 +1,149 @@
+"""Crash tolerance of the durable run store.
+
+A process killed mid-flush leaves a partial trailing JSONL line; the
+store must treat that as expected damage — skip it on read, cut it off
+before appending — while still refusing to paper over corruption of
+records that were already acknowledged by a progress marker.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.core.milking import MilkingConfig
+from repro.errors import StoreError
+from repro.store import JsonlStore, MemoryStore
+from repro.store.persist import load_world
+
+MILKING = MilkingConfig(duration_days=0.5, post_lookup_days=0.5)
+
+
+def make_store(tmp_path, records=3):
+    store = JsonlStore(tmp_path / "store", run_id="torn")
+    for n in range(records):
+        store.append("events", {"n": n, "payload": "x" * 20})
+    store.close()
+    return tmp_path / "store"
+
+
+class TestTornTailRead:
+    @pytest.mark.parametrize("cut", [1, 5, 13, 27])
+    def test_truncated_at_arbitrary_offset_skips_tail(self, tmp_path, cut):
+        directory = make_store(tmp_path)
+        path = directory / "events.jsonl"
+        data = path.read_bytes()
+        full = len(data)
+        path.write_bytes(data[: full - cut])
+        store = JsonlStore.open(directory)
+        records = store.read("events")
+        # The torn final record is skipped; every complete one survives.
+        assert [r["n"] for r in records] in ([0, 1], [0, 1, 2])
+        assert all(isinstance(r, dict) for r in records)
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        directory = make_store(tmp_path)
+        path = directory / "events.jsonl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"broken": \n'
+        path.write_bytes(b"".join(lines))
+        store = JsonlStore.open(directory)
+        with pytest.raises(StoreError, match="corrupt record"):
+            store.read("events")
+
+    def test_intact_file_reads_completely(self, tmp_path):
+        directory = make_store(tmp_path)
+        store = JsonlStore.open(directory)
+        assert [r["n"] for r in store.read("events")] == [0, 1, 2]
+
+
+class TestTornTailAppend:
+    def test_append_repairs_torn_tail_first(self, tmp_path):
+        directory = make_store(tmp_path)
+        path = directory / "events.jsonl"
+        with path.open("ab") as handle:
+            handle.write(b'{"n": 99, "pay')  # killed mid-write
+        store = JsonlStore.open(directory)
+        store.append("events", {"n": 3})
+        store.close()
+        lines = path.read_bytes().decode().splitlines()
+        parsed = [json.loads(line) for line in lines]  # every line valid again
+        assert [r["n"] for r in parsed] == [0, 1, 2, 3]
+
+    def test_count_reflects_repair(self, tmp_path):
+        directory = make_store(tmp_path)
+        path = directory / "events.jsonl"
+        with path.open("ab") as handle:
+            handle.write(b"garbage-tail")
+        store = JsonlStore.open(directory)
+        store.append("events", {"n": 3})
+        assert store.count("events") == 4
+
+
+class TestTruncate:
+    def test_jsonl_truncate_keeps_prefix(self, tmp_path):
+        directory = make_store(tmp_path, records=5)
+        store = JsonlStore.open(directory)
+        store.truncate("events", 2)
+        assert [r["n"] for r in store.read("events")] == [0, 1]
+        assert store.count("events") == 2
+        store.append("events", {"n": 7})
+        assert store.count("events") == 3
+
+    def test_memory_truncate_keeps_prefix(self):
+        store = MemoryStore()
+        for n in range(5):
+            store.append("events", {"n": n})
+        store.truncate("events", 3)
+        assert [r["n"] for r in store.read("events")] == [0, 1, 2]
+
+    def test_truncate_missing_stream_is_noop(self, tmp_path):
+        store = JsonlStore(tmp_path / "s")
+        store.truncate("nothing", 0)
+        assert store.read("nothing") == []
+
+
+class TestResumeAfterTornBatch:
+    def _interrupted_run(self, tmp_path, batches=4):
+        directory = tmp_path / "run"
+        pipeline = SeacmaPipeline(
+            build_world(WorldConfig.tiny(seed=5)), milking_config=MILKING
+        )
+        store = JsonlStore(directory, run_id="resume")
+        run = pipeline.start_streaming(store=store, with_milking=False)
+        for count, _ in enumerate(run.crawl_batches()):
+            if count >= batches:
+                break
+        store.close()
+        return directory
+
+    def test_unacknowledged_rows_trimmed_and_recrawled(self, tmp_path):
+        directory = self._interrupted_run(tmp_path)
+        interactions = directory / "interactions.jsonl"
+        lines = interactions.read_bytes().splitlines(keepends=True)
+        with interactions.open("ab") as handle:
+            handle.write(lines[0])        # complete but unacknowledged row
+            handle.write(lines[1][:33])   # torn mid-append
+        store = JsonlStore.open(directory)
+        world = load_world(store)
+        pipeline = SeacmaPipeline(world, milking_config=MILKING)
+        result = pipeline.resume_streaming(store, with_milking=False)
+        rows = store.read("interactions")
+        progress = store.read("progress")
+        hashes = store.read("hashes")
+        assert progress[-1]["interaction_rows"] == len(rows)
+        assert all(record["row"] < len(rows) for record in hashes)
+        assert len(result.crawl.interactions) == len(rows)
+
+    def test_acknowledged_damage_still_refuses(self, tmp_path):
+        directory = self._interrupted_run(tmp_path)
+        interactions = directory / "interactions.jsonl"
+        data = interactions.read_bytes()
+        interactions.write_bytes(data[: len(data) - 30])  # tears an acked row
+        store = JsonlStore.open(directory)
+        world = load_world(store)
+        pipeline = SeacmaPipeline(world, milking_config=MILKING)
+        with pytest.raises(StoreError, match="missing crawl records"):
+            pipeline.resume_streaming(store, with_milking=False)
