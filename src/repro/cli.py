@@ -6,18 +6,30 @@ and exported datasets.
 
 Subcommands::
 
-    seacma run       --preset tiny --seed 7 --days 2 [--out DIR]
-                     [--stream --store-dir DIR [--batch-domains N]]
-    seacma resume    STORE_DIR --days 2
+    seacma run       --preset tiny --seed 7 --days 2 [--fault-rate P]
+                     [--no-retries] [--no-milking] [--out DIR]
+                     [--stream --store-dir DIR [--batch-domains N]
+                      [--workers K]]
+                     [--trace-dir DIR] [--metrics]
+    seacma resume    STORE_DIR --days 2 [--no-milking]
+                     [--batch-domains N] [--workers K]
+                     [--trace-dir DIR] [--metrics]
     seacma tables    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma feeds     --preset tiny --seed 7 --days 2
     seacma report    --preset tiny --seed 7 --days 2 [--from-store DIR]
+    seacma trace     summarize TRACE_DIR
     seacma selfcheck --preset small
 
 ``run --stream`` persists the run into a store directory as it goes;
 ``resume`` continues a run whose process died mid-crawl; ``tables`` and
 ``report`` with ``--from-store`` regenerate their output offline from a
-stored run without re-crawling anything.
+stored run without re-crawling anything.  ``run --workers K`` executes
+the crawl across K worker processes (byte-identical results to
+``--workers 1``); ``--fault-rate`` injects deterministic transient
+faults.  ``--trace-dir`` records a telemetry trace (``spans.jsonl``,
+Chrome ``trace.json``, ``metrics.prom``) without changing a single
+output byte; ``--metrics`` prints the metrics registry after the run;
+``trace summarize`` aggregates a recorded trace offline.
 """
 
 from __future__ import annotations
@@ -103,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="crawl worker processes (requires --stream; results "
                 "are byte-identical to --workers 1)",
             )
+            _add_telemetry_arguments(command)
         if name in ("tables", "report"):
             command.add_argument(
                 "--from-store",
@@ -120,7 +133,32 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--workers", type=int, default=1, help="crawl worker processes"
     )
+    _add_telemetry_arguments(resume)
+    trace = sub.add_parser(
+        "trace", help="inspect a telemetry trace written by --trace-dir"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="aggregate a trace directory per span name"
+    )
+    summarize.add_argument("trace_dir", type=pathlib.Path)
     return parser
+
+
+def _add_telemetry_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace-dir",
+        type=pathlib.Path,
+        default=None,
+        help="record a telemetry trace into this directory "
+        "(spans.jsonl, Chrome trace.json, metrics.prom); outputs are "
+        "byte-identical with or without tracing",
+    )
+    command.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (Prometheus text) after the run",
+    )
 
 
 def _run_pipeline(args):
@@ -135,21 +173,58 @@ def _run_pipeline(args):
         retries_enabled=not getattr(args, "no_retries", False),
     )
     with_milking = not getattr(args, "no_milking", False)
-    if getattr(args, "stream", False):
-        store = None
-        if args.store_dir is not None:
-            from repro.store import JsonlStore
+    telemetry = _activate_telemetry(args, world)
+    try:
+        if getattr(args, "stream", False):
+            store = None
+            if args.store_dir is not None:
+                from repro.store import JsonlStore
 
-            store = JsonlStore(args.store_dir, run_id=f"{args.preset}-{args.seed}")
-        result = pipeline.run_streaming(
-            store=store,
-            with_milking=with_milking,
-            batch_domains=args.batch_domains,
-            workers=args.workers,
+                store = JsonlStore(
+                    args.store_dir, run_id=f"{args.preset}-{args.seed}"
+                )
+            result = pipeline.run_streaming(
+                store=store,
+                with_milking=with_milking,
+                batch_domains=args.batch_domains,
+                workers=args.workers,
+            )
+        else:
+            result = pipeline.run(with_milking=with_milking)
+    finally:
+        if telemetry is not None:
+            from repro.telemetry import deactivate
+
+            deactivate()
+    return world, result, telemetry
+
+
+def _activate_telemetry(args, world):
+    """Install a process Telemetry when the run asked for one."""
+    if getattr(args, "trace_dir", None) is None and not getattr(
+        args, "metrics", False
+    ):
+        return None
+    from repro.telemetry import Telemetry, activate
+
+    return activate(Telemetry(world.clock))
+
+
+def _report_telemetry(args, telemetry) -> None:
+    """Post-run telemetry output: trace bundle and/or metrics text."""
+    if telemetry is None:
+        return
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is not None:
+        files = telemetry.export(trace_dir)
+        spans = len(telemetry.tracer.spans) + len(telemetry.tracer.adopted)
+        print(
+            f"trace written to {trace_dir}/ ({spans} spans: "
+            + ", ".join(sorted(path.name for path in files.values()))
+            + ")"
         )
-    else:
-        result = pipeline.run(with_milking=with_milking)
-    return world, result
+    if getattr(args, "metrics", False):
+        print(telemetry.metrics.to_prometheus(), end="")
 
 
 def _milking_config(args) -> MilkingConfig:
@@ -165,17 +240,25 @@ def _resume(args) -> int:
     store = JsonlStore.open(args.store_dir)
     world = load_world(store)
     pipeline = SeacmaPipeline(world, milking_config=_milking_config(args))
-    result = pipeline.resume_streaming(
-        store,
-        with_milking=not args.no_milking,
-        batch_domains=args.batch_domains,
-        workers=args.workers,
-    )
+    telemetry = _activate_telemetry(args, world)
+    try:
+        result = pipeline.resume_streaming(
+            store,
+            with_milking=not args.no_milking,
+            batch_domains=args.batch_domains,
+            workers=args.workers,
+        )
+    finally:
+        if telemetry is not None:
+            from repro.telemetry import deactivate
+
+            deactivate()
     print(
         f"resumed run {store.run_id}: {result.crawl.publishers_visited} publishers "
         f"crawled in total, {len(result.crawl.interactions)} ads, "
         f"{len(result.discovery.seacma_campaigns)} SEACMA campaigns"
     )
+    _report_telemetry(args, telemetry)
     return 0
 
 
@@ -239,6 +322,11 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args) -> int:
     if args.command == "resume":
         return _resume(args)
+    if args.command == "trace":
+        from repro.telemetry.summarize import render_summary, summarize_trace
+
+        print(render_summary(summarize_trace(args.trace_dir)))
+        return 0
     if args.command == "selfcheck":
         world = build_world(_PRESETS[args.preset](seed=args.seed))
         issues = world.self_check()
@@ -251,10 +339,11 @@ def _dispatch(args) -> int:
             f"{len(world.campaigns)} campaigns, {len(world.networks)} networks"
         )
         return 0
+    telemetry = None
     if getattr(args, "from_store", None) is not None:
         world, result = _load_stored(args.from_store)
     else:
-        world, result = _run_pipeline(args)
+        world, result, telemetry = _run_pipeline(args)
     if args.command == "tables":
         _print_tables(world, result)
     elif args.command == "feeds":
@@ -298,6 +387,7 @@ def _dispatch(args) -> int:
                     export_milking_report(result.milking)
                 )
             print(f"datasets written to {args.out}/")
+        _report_telemetry(args, telemetry)
     return 0
 
 

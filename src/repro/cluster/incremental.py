@@ -31,6 +31,7 @@ from repro.cluster.dbscan import dbscan
 from repro.errors import ClusteringError
 from repro.imaging.dhash import DHASH_BITS
 from repro.imaging.distance import hamming
+from repro.telemetry import current as current_telemetry
 
 _WORDS = 16
 _WORD_BITS = DHASH_BITS // _WORDS  # 8
@@ -84,6 +85,7 @@ class IncrementalDBSCAN:
             for word_index, word in enumerate(_words_of(value)):
                 self._buckets[word_index].setdefault(word, []).append(index)
         self._labels = None
+        current_telemetry().inc("cluster.points")
         return index
 
     def add_batch(self, values: Iterable[int]) -> list[int]:
@@ -122,7 +124,10 @@ class IncrementalDBSCAN:
         O(V + E) expansion sweep over the maintained adjacency.
         """
         if self._labels is None:
-            self._labels = dbscan(
-                len(self._hashes), self._adjacency.__getitem__, self._min_pts
-            )
+            with current_telemetry().span(
+                "cluster.dbscan", attrs={"points": len(self._hashes)}
+            ):
+                self._labels = dbscan(
+                    len(self._hashes), self._adjacency.__getitem__, self._min_pts
+                )
         return list(self._labels)

@@ -17,6 +17,7 @@ import networkx as nx
 
 from repro.core.crawler import AdInteraction
 from repro.errors import AttributionError
+from repro.telemetry import current as current_telemetry
 from repro.urlkit.url import parse_url
 from repro.errors import UrlError
 
@@ -95,6 +96,9 @@ def milkable_candidates(interaction: AdInteraction) -> list[str]:
             continue
         seen.append(node.url)
     # Closest-to-the-attack candidate first (the Figure 4 TDS hop).
+    telemetry = current_telemetry()
+    telemetry.inc("backtrack.walks")
+    telemetry.inc("backtrack.candidates", len(seen[:1]))
     return seen[:1]
 
 

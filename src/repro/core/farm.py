@@ -32,6 +32,7 @@ from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
 from repro.ecosystem.world import World
 from repro.errors import ConfigError, TabCrashError, TransientError
 from repro.rng import derive
+from repro.telemetry import SHARD_LANE, current as current_telemetry
 
 
 def shard_index(domain: str, shard_count: int) -> int:
@@ -112,6 +113,9 @@ class CrawlBatch:
     #: Sessions this batch actually ran (0 when every profile's session
     #: was already checkpointed).
     sessions: int = 0
+    #: Plan-derived virtual start time of the domain's first session
+    #: (telemetry span start; 0.0 for batches built outside a plan).
+    plan_start: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -320,12 +324,22 @@ class CrawlerFarm:
         config = self.config
         dataset = checkpoint.dataset
         n_laptops = len(world.vantages_residential) or 1
+        telemetry = current_telemetry()
         for entry in entries:
             if entry.domain in checkpoint.completed_domains:
                 continue
             batch: list[AdInteraction] = []
             sessions_run = 0
-            with world.internet.scoped(entry.domain):
+            plan_start = plan.session_time(entry.position, 0)
+            # Operational lane: this span lives wherever the sessions
+            # actually execute (parent or shard worker), so it is not part
+            # of the canonical sim trace.
+            with telemetry.span(
+                "farm.domain",
+                attrs={"domain": entry.domain, "residential": entry.residential},
+                lane=SHARD_LANE,
+                sim_start=plan_start,
+            ), world.internet.scoped(entry.domain):
                 for profile_index, profile in enumerate(config.profiles):
                     key = (entry.domain, profile.name)
                     if key in checkpoint.completed_sessions:
@@ -340,6 +354,8 @@ class CrawlerFarm:
                     interactions = self._run_session(entry.domain, profile, vantage)
                     dataset.sessions += 1
                     sessions_run += 1
+                    telemetry.inc("crawl.sessions")
+                    telemetry.inc("crawl.interactions", len(interactions))
                     dataset.interactions.extend(interactions)
                     batch.extend(interactions)
                     for record in interactions:
@@ -351,7 +367,8 @@ class CrawlerFarm:
                             entry.residential_base + profile_index + 1
                         )
             yield self._complete_domain(
-                checkpoint, entry, batch, world.clock.now(), sessions_run
+                checkpoint, entry, batch, world.clock.now(), sessions_run,
+                plan_start=plan_start,
             )
         if not partial:
             world.clock.seek(plan.end_time)
@@ -364,6 +381,7 @@ class CrawlerFarm:
         interactions: list[AdInteraction],
         batch_clock: float,
         sessions_run: int,
+        plan_start: float = 0.0,
     ) -> CrawlBatch:
         """Per-domain bookkeeping shared by the drive and merge paths."""
         dataset = checkpoint.dataset
@@ -386,6 +404,7 @@ class CrawlerFarm:
             clock=batch_clock,
             position=entry.position,
             sessions=sessions_run,
+            plan_start=plan_start,
         )
 
     def absorb_batch(
@@ -411,7 +430,8 @@ class CrawlerFarm:
                 entry.residential_base + len(self.config.profiles)
             )
         return self._complete_domain(
-            checkpoint, entry, batch.interactions, batch.clock, batch.sessions
+            checkpoint, entry, batch.interactions, batch.clock, batch.sessions,
+            plan_start=batch.plan_start,
         )
 
     def _run_session(
@@ -429,6 +449,10 @@ class CrawlerFarm:
             except TabCrashError:
                 if stats is not None:
                     stats.sessions_crashed += 1
+                current_telemetry().event(
+                    "fault.session_crash",
+                    {"domain": domain, "profile": profile.name},
+                )
                 if resilience is None or not resilience.retry.should_retry(0):
                     if stats is not None:
                         stats.sessions_lost += 1

@@ -39,6 +39,7 @@ from repro.imaging.dhash import dhash128
 from repro.imaging.similarity import matches_any
 from repro.net.ipspace import VantagePoint
 from repro.net.network import Internet
+from repro.telemetry import current as current_telemetry
 from repro.urlkit.psl import e2ld
 
 
@@ -223,6 +224,18 @@ class MilkingTracker:
 
     def _derive_new(self, discovery: DiscoveryResult) -> list[MilkingSource]:
         added: list[MilkingSource] = []
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "milking.derive",
+            attrs={"campaigns": len(discovery.seacma_campaigns)},
+        ):
+            self._derive_into(discovery, added)
+        telemetry.inc("milking.sources", len(added))
+        return added
+
+    def _derive_into(
+        self, discovery: DiscoveryResult, added: list[MilkingSource]
+    ) -> None:
         for cluster in discovery.seacma_campaigns:
             candidates: dict[str, set[str]] = {}
             for record in cluster.interactions:
@@ -247,7 +260,6 @@ class MilkingTracker:
                         )
                         self.sources.append(source)
                         added.append(source)
-        return added
 
     def add_source(self, source: MilkingSource) -> MilkingSource:
         """Register an externally verified source (mid-run discovery).
@@ -294,6 +306,7 @@ class MilkingTracker:
             raise MilkingError("no milking sources; call derive_sources first")
         config = config if config is not None else MilkingConfig()
         clock = self.internet.clock
+        telemetry = current_telemetry()
         report = MilkingReport(started_at=clock.now(), sources=len(self.sources))
         watchlist: dict[str, MilkedDomain] = {}
         scheduler = EventScheduler(clock)
@@ -304,16 +317,24 @@ class MilkingTracker:
                 for source in source_feed(now):
                     self.add_source(source)
                 report.sources = len(self.sources)
-            for source in self.sources:
-                if source.active and not self._milk_once(source, report, watchlist, config):
-                    self._schedule_retry(
-                        scheduler, source, report, watchlist, config, milk_end, attempt=0
-                    )
+            with telemetry.span(
+                "milking.round", attrs={"sources": len(self.sources)}
+            ):
+                for source in self.sources:
+                    if source.active and not self._milk_once(
+                        source, report, watchlist, config
+                    ):
+                        self._schedule_retry(
+                            scheduler, source, report, watchlist, config,
+                            milk_end, attempt=0,
+                        )
 
         def gsb_round(now: float) -> None:
             for domain, record in watchlist.items():
-                if record.observed_listed_at is None and self.gsb.lookup(domain, now):
-                    record.observed_listed_at = now
+                if record.observed_listed_at is None:
+                    telemetry.inc("milking.gsb_lookups")
+                    if self.gsb.lookup(domain, now):
+                        record.observed_listed_at = now
 
         scheduler.schedule_every(
             config.interval_minutes * MINUTE, milk_round, until=milk_end
@@ -375,6 +396,10 @@ class MilkingTracker:
         stats = self.internet.fault_stats
         if stats is not None:
             stats.milk_reschedules += 1
+        current_telemetry().event(
+            "milking.reschedule",
+            {"source": source.source_id, "attempt": attempt},
+        )
 
         def retry(now: float) -> None:
             if not source.active:
@@ -399,6 +424,7 @@ class MilkingTracker:
         tab = client.navigate(source.url)
         source.sessions += 1
         report.sessions += 1
+        current_telemetry().inc("milking.sessions")
         if not tab.loaded or tab.current_url is None:
             source.failures += 1
             if source.failures >= 20:
@@ -422,6 +448,7 @@ class MilkingTracker:
             )
             watchlist[domain] = record
             report.domains.append(record)
+            current_telemetry().inc("milking.domains")
         if config.interact_with_pages:
             self._interact(client, tab, source, report)
         return True
@@ -447,6 +474,7 @@ class MilkingTracker:
                 continue
             self._payloads[sha256] = payload
             known = self.virustotal.query(sha256, self.internet.clock.now())
+            current_telemetry().inc("milking.files")
             report.files.append(
                 MilkedFile(
                     sha256=sha256,

@@ -88,6 +88,7 @@ from repro.store.records import (
     progress_to_record,
     world_config_to_meta,
 )
+from repro.telemetry import current as current_telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -221,21 +222,41 @@ class SeacmaPipeline:
 
     def run(self, with_milking: bool = True) -> PipelineResult:
         """Run the full pipeline in batch mode and collect every artifact."""
+        telemetry = current_telemetry()
         result = PipelineResult()
-        result.patterns = self.derive_patterns()
-        result.publisher_domains = self.reverse_publishers(result.patterns)
-        result.crawl = self.crawl(result.publisher_domains)
-        result.discovery = self.discover(result.crawl)
-        result.attribution = self.attribute(result.crawl, result.patterns)
-        result.new_patterns = discover_new_networks(result.attribution.unknown)
-        result.expanded_publishers = expand_publisher_list(
-            result.new_patterns,
-            self._require_publicwww(),
-            already_known=set(result.publisher_domains),
-        )
-        if with_milking:
-            result.milking = self.milk(result.discovery)
-        result.fault_stats = self.world.internet.fault_stats
+        with telemetry.span("pipeline.run", attrs={"mode": "batch"}):
+            with telemetry.span("stage.patterns"):
+                result.patterns = self.derive_patterns()
+            with telemetry.span("stage.reverse"):
+                result.publisher_domains = self.reverse_publishers(result.patterns)
+            with telemetry.span(
+                "stage.crawl", attrs={"publishers": len(result.publisher_domains)}
+            ):
+                result.crawl = self.crawl(result.publisher_domains)
+            with telemetry.span("stage.discovery"):
+                result.discovery = self.discover(result.crawl)
+            with telemetry.span("stage.attribution"):
+                result.attribution = self.attribute(result.crawl, result.patterns)
+            with telemetry.span("stage.expansion"):
+                result.new_patterns = discover_new_networks(
+                    result.attribution.unknown
+                )
+                result.expanded_publishers = expand_publisher_list(
+                    result.new_patterns,
+                    self._require_publicwww(),
+                    already_known=set(result.publisher_domains),
+                )
+            if with_milking:
+                with telemetry.span("stage.milking"):
+                    result.milking = self.milk(result.discovery)
+            result.fault_stats = self.world.internet.fault_stats
+            telemetry.record_fault_stats(result.fault_stats)
+            telemetry.set_gauge(
+                "crawl.publishers", result.crawl.publishers_visited
+            )
+            telemetry.set_gauge(
+                "discovery.campaigns", len(result.discovery.campaigns)
+            )
         return result
 
     # ---------------------------------------------------------- streaming
@@ -362,10 +383,13 @@ class StreamingRun:
         self.batch_domains = batch_domains
         self.workers = workers
         self.result = PipelineResult()
-        self.result.patterns = pipeline.derive_patterns()
-        self.result.publisher_domains = pipeline.reverse_publishers(
-            self.result.patterns
-        )
+        telemetry = current_telemetry()
+        with telemetry.span("stage.patterns"):
+            self.result.patterns = pipeline.derive_patterns()
+        with telemetry.span("stage.reverse"):
+            self.result.publisher_domains = pipeline.reverse_publishers(
+                self.result.patterns
+            )
         self.farm = CrawlerFarm(pipeline.world, pipeline.farm_config)
         self.writer = StoreWriter(store)
         self.discovery_stage = IncrementalDiscovery(
@@ -411,32 +435,54 @@ class StreamingRun:
         leaves the store resumable.
         """
         store = self.store
+        telemetry = current_telemetry()
         if self.workers > 1:
             batches = self._parallel_batches()
         else:
             batches = self.farm.crawl_incremental(
                 self.result.publisher_domains, self._checkpoint
             )
-        for batch in batches:
-            self.writer.ingest(batch.interactions)
-            checkpoint = self.farm.checkpoint
-            store.append(
-                PROGRESS,
-                progress_to_record(
-                    domain=batch.domain,
-                    residential=batch.residential,
-                    laptop_index=checkpoint.laptop_index,
-                    clock=batch.clock,
-                    sessions=checkpoint.dataset.sessions,
-                    interaction_rows=self.writer.rows_written,
-                ),
-            )
-            self._buffer.extend(batch.interactions)
-            self._buffered_domains += 1
-            if self._buffered_domains >= self.batch_domains:
-                self._flush()
-            yield batch
-        self._flush()
+        # NOTE: no ``workers`` attr here — the sim lane must be identical
+        # across --workers counts; execution shape lives on the shard-lane
+        # ``parallel.merge`` span instead.
+        with telemetry.span(
+            "stage.crawl",
+            attrs={"publishers": len(self.result.publisher_domains)},
+        ):
+            for batch in batches:
+                self.writer.ingest(batch.interactions)
+                checkpoint = self.farm.checkpoint
+                store.append(
+                    PROGRESS,
+                    progress_to_record(
+                        domain=batch.domain,
+                        residential=batch.residential,
+                        laptop_index=checkpoint.laptop_index,
+                        clock=batch.clock,
+                        sessions=checkpoint.dataset.sessions,
+                        interaction_rows=self.writer.rows_written,
+                    ),
+                )
+                # The canonical per-domain span: plan-derived start, batch
+                # clock end — a pure function of (world config, arguments),
+                # identical whichever process ran the sessions.
+                telemetry.complete_span(
+                    "crawl.domain",
+                    sim_start=batch.plan_start,
+                    sim_end=batch.clock,
+                    attrs={
+                        "domain": batch.domain,
+                        "residential": batch.residential,
+                        "sessions": batch.sessions,
+                        "interactions": len(batch.interactions),
+                    },
+                )
+                self._buffer.extend(batch.interactions)
+                self._buffered_domains += 1
+                if self._buffered_domains >= self.batch_domains:
+                    self._flush()
+                yield batch
+            self._flush()
 
     def _parallel_batches(self) -> Iterator[CrawlBatch]:
         """The sharded-executor crawl path (``workers`` > 1)."""
@@ -465,7 +511,14 @@ class StreamingRun:
     def _flush(self) -> None:
         """Feed buffered interactions to the analysis stages."""
         if self._buffer:
-            ingest_all(self.analysis_stages, self._buffer)
+            with current_telemetry().span(
+                "pipeline.ingest",
+                attrs={
+                    "interactions": len(self._buffer),
+                    "domains": self._buffered_domains,
+                },
+            ):
+                ingest_all(self.analysis_stages, self._buffer)
             self._buffer = []
         self._buffered_domains = 0
 
@@ -486,8 +539,10 @@ class StreamingRun:
                 "calling finalize() (or use run_streaming(), which does)"
             )
         result.crawl = dataset
+        telemetry = current_telemetry()
         store.put_meta("crawl_summary", crawl_summary_to_meta(dataset))
-        result.discovery = self.discovery_stage.finalize()
+        with telemetry.span("stage.discovery"):
+            result.discovery = self.discovery_stage.finalize()
         store.put_meta("discovery_stats", discovery_stats_to_meta(result.discovery))
         store.extend(
             CAMPAIGNS,
@@ -496,26 +551,34 @@ class StreamingRun:
                 for campaign in result.discovery.campaigns
             ),
         )
-        result.attribution = self.attribution_stage.finalize()
+        with telemetry.span("stage.attribution"):
+            result.attribution = self.attribution_stage.finalize()
         store.extend(
             ATTRIBUTION,
             attribution_to_records(result.attribution, self.writer.rows_of),
         )
-        result.new_patterns = discover_new_networks(result.attribution.unknown)
-        result.expanded_publishers = expand_publisher_list(
-            result.new_patterns,
-            pipeline._require_publicwww(),
-            already_known=set(result.publisher_domains),
-        )
+        with telemetry.span("stage.expansion"):
+            result.new_patterns = discover_new_networks(result.attribution.unknown)
+            result.expanded_publishers = expand_publisher_list(
+                result.new_patterns,
+                pipeline._require_publicwww(),
+                already_known=set(result.publisher_domains),
+            )
         store.put_meta(
             "new_patterns",
             [pattern_to_record(pattern) for pattern in result.new_patterns],
         )
         store.put_meta("expanded_publishers", result.expanded_publishers)
         if self.with_milking:
-            result.milking = pipeline.milk(result.discovery)
+            with telemetry.span("stage.milking"):
+                result.milking = pipeline.milk(result.discovery)
             store.extend(MILKING, milking_to_records(result.milking))
         result.fault_stats = pipeline.world.internet.fault_stats
+        telemetry.record_fault_stats(result.fault_stats)
+        telemetry.set_gauge("crawl.publishers", dataset.publishers_visited)
+        telemetry.set_gauge(
+            "discovery.campaigns", len(result.discovery.campaigns)
+        )
         store.put_meta("finished_at", pipeline.world.clock.now())
         store.put_meta("status", "finished")
         self._finalized = True
@@ -578,7 +641,11 @@ class StreamingRun:
         interactions = [interaction_from_record(record) for record in raw]
         for row, record in enumerate(interactions):
             self.writer.rows_of[id(record)] = row
-        ingest_all(self.analysis_stages, interactions)
+        with current_telemetry().span(
+            "resume.rebuild",
+            attrs={"rows": len(interactions), "domains": len(progress)},
+        ):
+            ingest_all(self.analysis_stages, interactions)
         dataset = CrawlDataset(
             interactions=list(interactions),
             started_at=store.get_meta("started_at", 0.0),

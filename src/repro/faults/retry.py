@@ -20,6 +20,7 @@ from repro.clock import SimClock
 from repro.errors import ConfigError
 from repro.faults.stats import FaultStats
 from repro.rng import rng_for
+from repro.telemetry import current as current_telemetry
 
 
 @dataclass(frozen=True)
@@ -129,21 +130,26 @@ class CircuitBreaker:
         """Record one failure; returns True when this one trips the breaker."""
         self.last_failure_kind = kind
         self._consecutive_failures += 1
+        tripped = False
         if self.state is BreakerState.HALF_OPEN:
             # The trial request failed: straight back to open.
             self.state = BreakerState.OPEN
             self._opened_at = now
             self.trips += 1
-            return True
-        if (
+            tripped = True
+        elif (
             self.state is BreakerState.CLOSED
             and self._consecutive_failures >= self.failure_threshold
         ):
             self.state = BreakerState.OPEN
             self._opened_at = now
             self.trips += 1
-            return True
-        return False
+            tripped = True
+        if tripped:
+            current_telemetry().event(
+                "fault.breaker_trip", {"host": self.host, "kind": kind}
+            )
+        return tripped
 
 
 class BreakerRegistry:
@@ -202,6 +208,12 @@ class Resilience:
         delay = self.retry.backoff(attempt, *labels)
         self.stats.retries += 1
         self.stats.add_delay(delay)
+        telemetry = current_telemetry()
+        telemetry.inc("faults.backoffs")
+        telemetry.event(
+            "fault.backoff",
+            {"attempt": attempt, "delay": delay, "labels": list(labels)},
+        )
         return delay
 
 

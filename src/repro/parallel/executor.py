@@ -55,6 +55,12 @@ from repro.store.segments import (
     segment_path,
     summary_to_segment_record,
 )
+from repro.telemetry import (
+    SHARD_LANE,
+    Telemetry,
+    current as current_telemetry,
+    use as use_telemetry,
+)
 
 #: Parent-side poll interval while waiting for the next in-order batch.
 _POLL_SECONDS = 0.01
@@ -79,6 +85,10 @@ class ShardSpec:
     shard: int
     shard_count: int
     segment_path: str
+    #: Mirror the parent's telemetry state: when on, the worker runs its
+    #: own :class:`~repro.telemetry.Telemetry` and ships spans + metrics
+    #: home through the segment file.
+    telemetry: bool = False
 
 
 def run_shard(spec: ShardSpec) -> None:
@@ -105,6 +115,7 @@ def run_shard(spec: ShardSpec) -> None:
                 retries_enabled=spec.retries_enabled,
                 retry_policy=spec.retry_policy,
             )
+            telemetry = Telemetry(world.clock) if spec.telemetry else None
             farm = CrawlerFarm(world, spec.farm_config)
             checkpoint = CrawlCheckpoint(
                 dataset=CrawlDataset(started_at=spec.started_at)
@@ -115,8 +126,22 @@ def run_shard(spec: ShardSpec) -> None:
                 checkpoint,
                 shard=(spec.shard, spec.shard_count),
             )
-            for batch in batches:
-                emit(batch_to_segment_record(batch))
+            if telemetry is not None:
+                with use_telemetry(telemetry):
+                    for batch in batches:
+                        emit(batch_to_segment_record(batch))
+                # Shipped home before the summary so the parent adopts the
+                # spans no later than it learns the shard finished.
+                emit(
+                    {
+                        "kind": "spans",
+                        "shard": spec.shard,
+                        "spans": telemetry.tracer.records(include_wall=True),
+                    }
+                )
+            else:
+                for batch in batches:
+                    emit(batch_to_segment_record(batch))
             stats = world.internet.fault_stats
             emit(
                 summary_to_segment_record(
@@ -131,6 +156,11 @@ def run_shard(spec: ShardSpec) -> None:
                         for key, server in world.networks.items()
                     },
                     fetch_count=world.internet.fetch_count,
+                    metrics=(
+                        telemetry.metrics.snapshot()
+                        if telemetry is not None
+                        else None
+                    ),
                 )
             )
         except Exception as error:  # noqa: BLE001 - forwarded to the parent
@@ -165,6 +195,8 @@ class ShardedCrawlExecutor:
         self.segment_dir = Path(segment_dir)
         self.retries_enabled = retries_enabled
         self.retry_policy = retry_policy
+        #: ``kind == "spans"`` segment records collected while draining.
+        self._span_payloads: list[dict] = []
 
     # ------------------------------------------------------------------ run
 
@@ -195,6 +227,7 @@ class ShardedCrawlExecutor:
         ]
         processes, readers = self._spawn(publisher_domains, checkpoint, plan)
         summaries: list[dict] = []
+        self._span_payloads = []
         try:
             yield from self._merge(pending, processes, readers, summaries)
             # Workers write their summary *after* their last batch; the
@@ -206,7 +239,18 @@ class ShardedCrawlExecutor:
                 if process.is_alive():
                     process.terminate()
                 process.join()
-        self._reconcile(plan, checkpoint, summaries)
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "parallel.merge", attrs={"workers": self.workers}, lane=SHARD_LANE
+        ):
+            self._reconcile(plan, checkpoint, summaries)
+            if telemetry.enabled:
+                for payload in sorted(
+                    self._span_payloads, key=lambda record: record["shard"]
+                ):
+                    telemetry.tracer.adopt_shard_records(
+                        payload["spans"], payload["shard"]
+                    )
         shutil.rmtree(self.segment_dir, ignore_errors=True)
 
     # ------------------------------------------------------------- plumbing
@@ -238,6 +282,7 @@ class ShardedCrawlExecutor:
                 shard=shard,
                 shard_count=self.workers,
                 segment_path=str(path),
+                telemetry=current_telemetry().enabled,
             )
             process = context.Process(
                 target=run_shard, args=(spec,), name=f"crawl-shard-{shard}"
@@ -331,6 +376,8 @@ class ShardedCrawlExecutor:
                     arrived[batch.position] = batch
                 elif kind == "summary":
                     summaries.append(record)
+                elif kind == "spans":
+                    self._span_payloads.append(record)
                 elif kind == "error":
                     raise ReproError(
                         f"crawl shard {record.get('shard')} failed: "
@@ -363,10 +410,14 @@ class ShardedCrawlExecutor:
                 "delivered a summary record; the crawl is incomplete"
             )
         parent_stats = world.internet.fault_stats
+        telemetry = current_telemetry()
         for summary in sorted(summaries, key=lambda record: record["shard"]):
             snapshot = summary.get("fault_stats")
             if snapshot is not None and parent_stats is not None:
                 parent_stats.merge(FaultStats.restore(snapshot))
+            metrics = summary.get("metrics")
+            if metrics is not None and telemetry.enabled:
+                telemetry.metrics.merge(metrics)
             for key, counters in summary.get("networks", {}).items():
                 server = world.networks.get(key)
                 if server is None:

@@ -25,6 +25,7 @@ from typing import Any, IO, Mapping
 
 from repro.errors import StoreError
 from repro.store.base import META, StoreBase
+from repro.telemetry import current as current_telemetry
 
 _STREAM_NAME = re.compile(r"^[a-z][a-z0-9_-]*$")
 
@@ -120,10 +121,15 @@ class JsonlStore(StoreBase):
     def append(self, stream: str, record: Mapping[str, Any]) -> None:
         before = self.count(stream)
         handle = self._handle(stream)
-        handle.write(json.dumps(dict(record), separators=(",", ":"), sort_keys=True))
+        line = json.dumps(dict(record), separators=(",", ":"), sort_keys=True)
+        handle.write(line)
         handle.write("\n")
         handle.flush()
         self._counts[stream] = before + 1
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.inc(f"store.appends.{stream}")
+            telemetry.observe("store.record_bytes", len(line) + 1)
 
     def read(self, stream: str) -> list[dict[str, Any]]:
         """All records in ``stream``, tolerating a torn trailing record.
@@ -192,6 +198,7 @@ class JsonlStore(StoreBase):
                 out.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
                 out.write("\n")
         self._counts[stream] = len(records)
+        current_telemetry().inc(f"store.truncates.{stream}")
 
     def close(self) -> None:
         """Close every open file handle (appends reopen lazily)."""

@@ -39,6 +39,7 @@ def batch_to_segment_record(batch: CrawlBatch) -> dict[str, Any]:
         "residential": batch.residential,
         "clock": batch.clock,
         "sessions": batch.sessions,
+        "plan_start": batch.plan_start,
         "interactions": [
             interaction_to_dict(record) for record in batch.interactions
         ],
@@ -56,6 +57,7 @@ def batch_from_segment_record(data: dict[str, Any]) -> CrawlBatch:
         clock=data["clock"],
         position=data["position"],
         sessions=data["sessions"],
+        plan_start=data.get("plan_start", 0.0),
     )
 
 
@@ -64,6 +66,7 @@ def summary_to_segment_record(
     fault_stats: dict[str, Any] | None,
     network_counters: dict[str, dict[str, int]],
     fetch_count: int,
+    metrics: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """The segment's closing record: everything that isn't a batch.
 
@@ -76,6 +79,7 @@ def summary_to_segment_record(
         "fault_stats": fault_stats,
         "networks": network_counters,
         "fetch_count": fetch_count,
+        "metrics": metrics,
     }
 
 

@@ -1,0 +1,55 @@
+"""``repro.telemetry`` — deterministic tracing, metrics and profiling.
+
+The observability spine of the reproduction (what the paper's
+measurement farm would run in production): a process-wide
+:class:`Telemetry` context holding a span tracer and a metrics
+registry, plus exporters for JSONL span logs, Chrome ``trace_event``
+JSON and Prometheus text.
+
+Two hard guarantees, proven by ``tests/test_trace_determinism.py``:
+
+* telemetry **off** (the default :data:`NULL` context) changes zero
+  output bytes — pipeline results and store files are untouched;
+* telemetry **on** still leaves every pipeline/store output
+  byte-identical, and the canonical (sim-lane) span stream is itself
+  byte-identical across runs and ``--workers`` counts; wall-clock
+  fields are segregated so the comparison is mechanical.
+
+See ``DESIGN.md`` ("Telemetry") for the span taxonomy and determinism
+rules.
+"""
+
+from repro.telemetry.context import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    current,
+    deactivate,
+    use,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import SHARD_LANE, SIM_LANE, Span, SpanTracer
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "Telemetry",
+    "activate",
+    "current",
+    "deactivate",
+    "use",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SHARD_LANE",
+    "SIM_LANE",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,197 @@
+"""The process-wide telemetry context.
+
+Instrumented code never holds a telemetry object; it asks for the
+process-current one::
+
+    from repro.telemetry import current
+
+    with current().span("stage.crawl"):
+        ...
+    current().inc("crawl.sessions")
+
+By default the current telemetry is a :data:`NULL` singleton whose every
+operation is a no-op, so an uninstrumented run pays a few attribute
+lookups and produces byte-for-byte the output it produced before this
+subsystem existed.  :func:`activate` installs a real :class:`Telemetry`
+(the CLI does this for ``--trace-dir``/``--metrics``); worker processes
+activate their own instance when the shard spec asks for one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.telemetry.metrics import DEFAULT_BOUNDARIES, MetricsRegistry
+from repro.telemetry.tracer import SIM_LANE, Span, SpanTracer
+
+
+class _NullContext:
+    """A reusable no-op context manager (yields ``None``)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTelemetry:
+    """The disabled telemetry: every operation is a cheap no-op."""
+
+    enabled = False
+
+    def span(self, *args: Any, **kwargs: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def complete_span(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def event(self, *args: Any, **kwargs: Any) -> bool:
+        return False
+
+    def inc(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def set_gauge(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def observe(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def record_fault_stats(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+#: The singleton installed while telemetry is off.
+NULL = NullTelemetry()
+
+
+class Telemetry:
+    """A span tracer plus a metrics registry sharing one sim clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Any) -> None:
+        #: Anything with a ``now() -> float`` method (a SimClock).
+        self.clock = clock
+        self.tracer = SpanTracer(clock.now)
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------- tracing
+
+    def span(
+        self,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+        lane: str = SIM_LANE,
+        sim_start: float | None = None,
+    ):
+        return self.tracer.span(name, attrs, lane, sim_start)
+
+    def complete_span(
+        self,
+        name: str,
+        sim_start: float,
+        sim_end: float,
+        attrs: dict[str, Any] | None = None,
+        lane: str = SIM_LANE,
+    ) -> Span:
+        return self.tracer.complete_span(name, sim_start, sim_end, attrs, lane)
+
+    def event(self, name: str, attrs: dict[str, Any] | None = None) -> bool:
+        return self.tracer.event(name, attrs)
+
+    # ------------------------------------------------------------- metrics
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: tuple[float, ...] = DEFAULT_BOUNDARIES,
+    ) -> None:
+        self.metrics.histogram(name, boundaries).observe(value)
+
+    # -------------------------------------------------------- integrations
+
+    def record_fault_stats(self, stats: Any) -> None:
+        """Snapshot a :class:`~repro.faults.stats.FaultStats` into gauges.
+
+        Gauges (not counters) because the fault stats object is the
+        single source of truth and this may be re-recorded — e.g. before
+        and after the shard merge folds worker stats in.
+        """
+        if stats is None:
+            return
+        for kind, count in stats.injected.items():
+            self.set_gauge(f"faults.injected.{kind}", count)
+        self.set_gauge("faults.injected", stats.faults_injected)
+        self.set_gauge("faults.retries", stats.retries)
+        self.set_gauge("faults.recovered_fetches", stats.recovered_fetches)
+        self.set_gauge("faults.failed_fetches", stats.failed_fetches)
+        self.set_gauge("faults.breaker_trips", stats.breaker_trips)
+        self.set_gauge("faults.breaker_fast_fails", stats.breaker_fast_fails)
+        self.set_gauge("faults.sessions_crashed", stats.sessions_crashed)
+        self.set_gauge("faults.sessions_resumed", stats.sessions_resumed)
+        self.set_gauge("faults.sessions_lost", stats.sessions_lost)
+        self.set_gauge("faults.milk_reschedules", stats.milk_reschedules)
+        self.set_gauge("faults.delay_seconds", stats.delay_seconds)
+
+    def export(self, trace_dir: str | Path) -> dict[str, Path]:
+        """Write the full trace bundle into ``trace_dir``.
+
+        Returns the files written: ``spans.jsonl`` (one record per span,
+        wall fields segregated), ``trace.json`` (Chrome ``trace_event``
+        JSON for chrome://tracing / Perfetto) and ``metrics.prom``
+        (Prometheus text exposition).
+        """
+        # Imported here: export pulls in json machinery the hot path
+        # never needs.
+        from repro.telemetry.export import write_trace_dir
+
+        return write_trace_dir(Path(trace_dir), self)
+
+
+_current: Telemetry | NullTelemetry = NULL
+
+
+def current() -> Telemetry | NullTelemetry:
+    """The process-current telemetry (the :data:`NULL` no-op by default)."""
+    return _current
+
+
+def activate(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the process-current instance."""
+    global _current
+    _current = telemetry
+    return telemetry
+
+
+def deactivate() -> None:
+    """Reset the process-current telemetry to the disabled singleton."""
+    global _current
+    _current = NULL
+
+
+@contextmanager
+def use(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Scoped :func:`activate` that restores the previous instance."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

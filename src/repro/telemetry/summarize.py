@@ -1,0 +1,120 @@
+"""Offline trace summarization (the ``seacma trace summarize`` command).
+
+Reads a trace directory written by :meth:`Telemetry.export` and
+aggregates its ``spans.jsonl`` per span name: how many times each
+operation ran, how much sim and wall time it covered, how many errors
+and events it carried.  Works on traces from any run — including ones
+merged from shard workers — without the world that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StoreError
+from repro.telemetry.export import METRICS_FILE, SPANS_FILE, read_spans_jsonl
+
+
+@dataclass
+class SpanAggregate:
+    """Rolled-up stats for one (span name, lane) pair."""
+
+    name: str
+    lane: str
+    count: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    errors: int = 0
+    events: int = 0
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`summarize_trace` derives from a trace directory."""
+
+    directory: Path
+    spans: int = 0
+    errors: int = 0
+    aggregates: list[SpanAggregate] = field(default_factory=list)
+    #: Sim-clock range covered by the trace (seconds).
+    sim_start: float = 0.0
+    sim_end: float = 0.0
+    has_metrics: bool = False
+
+    @property
+    def sim_span_seconds(self) -> float:
+        return self.sim_end - self.sim_start
+
+
+def aggregate_spans(records: list[dict[str, Any]]) -> list[SpanAggregate]:
+    """Aggregate span records per (name, lane), sim-heaviest first."""
+    rollup: dict[tuple[str, str], SpanAggregate] = {}
+    for record in records:
+        key = (record["name"], record["lane"])
+        aggregate = rollup.get(key)
+        if aggregate is None:
+            aggregate = rollup[key] = SpanAggregate(
+                name=record["name"], lane=record["lane"]
+            )
+        aggregate.count += 1
+        aggregate.sim_seconds += max(
+            0.0, record["sim"]["end"] - record["sim"]["start"]
+        )
+        wall = record.get("wall")
+        if wall is not None:
+            aggregate.wall_seconds += max(0.0, wall.get("dur", 0.0))
+        if record.get("status") == "error":
+            aggregate.errors += 1
+        aggregate.events += len(record.get("events", ()))
+    return sorted(
+        rollup.values(), key=lambda agg: (-agg.sim_seconds, agg.name, agg.lane)
+    )
+
+
+def summarize_trace(directory: str | Path) -> TraceSummary:
+    """Load and aggregate one trace directory."""
+    directory = Path(directory)
+    spans_path = directory / SPANS_FILE
+    if not spans_path.exists():
+        raise StoreError(
+            f"no trace at {directory} (missing {SPANS_FILE}); write one "
+            "with `seacma run --trace-dir DIR`"
+        )
+    records = read_spans_jsonl(spans_path)
+    summary = TraceSummary(
+        directory=directory,
+        spans=len(records),
+        errors=sum(1 for record in records if record.get("status") == "error"),
+        aggregates=aggregate_spans(records),
+        has_metrics=(directory / METRICS_FILE).exists(),
+    )
+    if records:
+        summary.sim_start = min(record["sim"]["start"] for record in records)
+        summary.sim_end = max(record["sim"]["end"] for record in records)
+    return summary
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """A fixed-width table over the aggregates, heaviest spans first."""
+    lines = [
+        f"trace {summary.directory}: {summary.spans} spans, "
+        f"{summary.errors} errors, "
+        f"{summary.sim_span_seconds / 86400.0:.2f} sim-days covered",
+    ]
+    if summary.has_metrics:
+        lines.append(f"metrics: {summary.directory / METRICS_FILE}")
+    header = (
+        f"{'SPAN':<28} {'LANE':<6} {'COUNT':>7} {'SIM s':>12} "
+        f"{'WALL s':>10} {'EVENTS':>7} {'ERRORS':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for aggregate in summary.aggregates:
+        lines.append(
+            f"{aggregate.name:<28} {aggregate.lane:<6} {aggregate.count:>7} "
+            f"{aggregate.sim_seconds:>12.1f} {aggregate.wall_seconds:>10.3f} "
+            f"{aggregate.events:>7} {aggregate.errors:>7}"
+        )
+    return "\n".join(lines)

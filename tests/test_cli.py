@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
+import argparse
 import json
+import pathlib
+import re
 
 import pytest
 
+from repro import cli as cli_module
 from repro.cli import build_parser, main
 
 
@@ -167,3 +171,122 @@ class TestWorkersFlag:
         output = capsys.readouterr().out
         assert "crawled" in output
         assert (tmp_path / "store" / "interactions.jsonl").exists()
+
+
+class TestHelpCoverage:
+    """The module docstring synopsis must not drift from the real parser."""
+
+    def _subparsers(self):
+        parser = build_parser()
+        actions = [
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        ]
+        assert actions, "CLI parser lost its subcommands"
+        return actions[0].choices
+
+    def test_every_subcommand_documented(self):
+        doc = cli_module.__doc__
+        for name in self._subparsers():
+            assert f"seacma {name}" in doc, f"docstring misses subcommand {name!r}"
+
+    def test_every_flag_documented(self):
+        doc = cli_module.__doc__
+        for name, sub in self._subparsers().items():
+            for action in sub._actions:
+                for option in action.option_strings:
+                    if option.startswith("--") and option != "--help":
+                        assert option in doc, (
+                            f"docstring misses {option} (subcommand {name})"
+                        )
+
+    def test_no_phantom_flags_documented(self):
+        """Every --flag the docstring mentions must exist on some subparser."""
+        real = {
+            option
+            for sub in self._subparsers().values()
+            for action in sub._actions
+            for option in action.option_strings
+            if option.startswith("--")
+        } | {"--help"}
+        documented = set(re.findall(r"--[a-z][a-z-]+", cli_module.__doc__))
+        assert documented <= real, f"docstring invents {documented - real}"
+
+
+class TestTelemetryFlags:
+    def test_trace_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--trace-dir", "traces/x", "--metrics"]
+        )
+        assert args.trace_dir == pathlib.Path("traces/x")
+        assert args.metrics is True
+        args = parser.parse_args(["resume", "store", "--trace-dir", "t"])
+        assert args.trace_dir == pathlib.Path("t")
+
+    def test_trace_summarize_parsed(self):
+        args = build_parser().parse_args(["trace", "summarize", "out"])
+        assert args.command == "trace"
+        assert args.trace_command == "summarize"
+        assert args.trace_dir == pathlib.Path("out")
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_traced_run_then_summarize(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        code = main(
+            [
+                "run",
+                "--stream",
+                "--seed",
+                "3",
+                "--days",
+                "0.5",
+                "--no-milking",
+                "--store-dir",
+                str(tmp_path / "store"),
+                "--trace-dir",
+                str(trace_dir),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace written to" in output
+        assert "seacma_crawl_sessions_total" in output
+        assert (trace_dir / "spans.jsonl").exists()
+        assert (trace_dir / "trace.json").exists()
+        assert (trace_dir / "metrics.prom").exists()
+
+        code = main(["trace", "summarize", str(trace_dir)])
+        assert code == 0
+        summary = capsys.readouterr().out
+        assert "spans" in summary
+        assert "stage.crawl" in summary
+
+    def test_summarize_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "absent")])
+        assert code == 2
+        assert "no trace at" in capsys.readouterr().err
+
+    def test_untraced_run_prints_no_telemetry(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--stream",
+                "--seed",
+                "3",
+                "--days",
+                "0.5",
+                "--no-milking",
+                "--store-dir",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace written" not in output
+        assert "seacma_" not in output
