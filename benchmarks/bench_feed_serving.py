@@ -1,0 +1,110 @@
+"""Feed serving economics: snapshot build cost, delta savings, throughput.
+
+Uses the shared benchmark run's published feed history and records three
+numbers in ``results/BENCH_feed.json``:
+
+* **snapshot build cost** — canonicalizing + hashing the latest (largest)
+  entry set;
+* **delta vs full sizes** — how much the Update-API delta protocol saves
+  a client one poll interval behind, and a cold client catching up from
+  v1;
+* **requests/sec** — in-process :meth:`FeedServer.handle` throughput on
+  a realistic mixed workload (fresh, one-behind, and current clients),
+  with the delta LRU cache doing its job.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.feed import FeedRequest, FeedServer, FeedSnapshot
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BUILD_REPS = 20
+REQUEST_ROUNDS = 2_000
+
+
+def test_feed_serving(bench_run):
+    snapshots = bench_run.feed
+    assert snapshots, "benchmark run published no feed snapshots"
+    latest = snapshots[-1]
+
+    # Snapshot build: sort + canonical JSON + SHA-256 over the full set.
+    entries = list(latest.entries)
+    build_walls = []
+    for _ in range(BUILD_REPS):
+        started = time.perf_counter()
+        rebuilt = FeedSnapshot.build(
+            version=latest.version,
+            published_at=latest.published_at,
+            entries=entries,
+        )
+        build_walls.append(time.perf_counter() - started)
+    assert rebuilt.content_hash == latest.content_hash
+    build_seconds = min(build_walls)
+
+    # Payload sizes: full snapshot vs the deltas clients actually pull.
+    server = FeedServer(snapshots)
+    full_size = server.handle(FeedRequest()).size
+    one_behind = server.handle(
+        FeedRequest(client_version=latest.version - 1)
+    )
+    from_v1 = server.handle(FeedRequest(client_version=1))
+
+    # Throughput: a poll mix of fresh, stale, and current clients.
+    requests = [
+        FeedRequest(),
+        FeedRequest(client_version=latest.version - 1),
+        FeedRequest(client_version=max(1, latest.version // 2)),
+        FeedRequest(
+            client_version=latest.version, client_hash=latest.content_hash
+        ),
+    ]
+    served = 0
+    started = time.perf_counter()
+    for _ in range(REQUEST_ROUNDS):
+        for request in requests:
+            server.handle(request)
+            served += 1
+    serving_wall = time.perf_counter() - started
+    requests_per_second = served / serving_wall
+
+    payload = {
+        "benchmark": "feed_serving",
+        "feed": {
+            "versions": len(snapshots),
+            "latest_entries": len(latest),
+        },
+        "snapshot_build_seconds": round(build_seconds, 6),
+        "payload_bytes": {
+            "full": full_size,
+            "delta_one_behind": one_behind.size,
+            "delta_from_v1": from_v1.size,
+            "one_behind_status": one_behind.status,
+            "from_v1_status": from_v1.status,
+        },
+        "requests": served,
+        "requests_per_second": round(requests_per_second, 1),
+        "cache": {
+            "hits": server.stats.cache_hits,
+            "misses": server.stats.cache_misses,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_feed.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    assert requests_per_second > 100, (
+        f"feed server served only {requests_per_second:.0f} req/s"
+    )
+    if one_behind.status == "delta":
+        assert one_behind.size < full_size, (
+            "a one-behind delta should be smaller than the full snapshot"
+        )
+    assert server.stats.cache_hits > server.stats.cache_misses, (
+        "the delta LRU cache never warmed up"
+    )

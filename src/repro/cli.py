@@ -18,6 +18,10 @@ Subcommands::
     seacma feeds     --preset tiny --seed 7 --days 2
     seacma report    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma trace     summarize TRACE_DIR
+    seacma feed      serve STORE_DIR [--host H] [--port N]
+    seacma feed      pull  STORE_DIR [--since N] [--json]
+    seacma feed      lag   STORE_DIR [--cohorts N] [--clients-per-cohort N]
+                     [--poll-minutes F] [--fault-rate P] [--fleet-seed N]
     seacma selfcheck --preset small
 
 ``run --stream`` persists the run into a store directory as it goes;
@@ -30,6 +34,14 @@ faults.  ``--trace-dir`` records a telemetry trace (``spans.jsonl``,
 Chrome ``trace.json``, ``metrics.prom``) without changing a single
 output byte; ``--metrics`` prints the metrics registry after the run;
 ``trace summarize`` aggregates a recorded trace offline.
+
+The ``feed`` group works against the versioned blocklist a streamed,
+milking-enabled run published into its store: ``feed serve`` mounts it
+behind an HTTP API, ``feed pull`` performs one snapshot/delta poll
+in-process (``--since`` gives the client's current version, ``--json``
+dumps the raw payload), and ``feed lag`` replays a simulated client
+fleet against the publication timeline and prints the protection-lag
+table comparing the feed to the simulated Safe Browsing blacklist.
 """
 
 from __future__ import annotations
@@ -142,6 +154,53 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="aggregate a trace directory per span name"
     )
     summarize.add_argument("trace_dir", type=pathlib.Path)
+    feed = sub.add_parser(
+        "feed", help="serve and measure a stored run's blocklist feed"
+    )
+    feed_sub = feed.add_subparsers(dest="feed_command", required=True)
+    serve = feed_sub.add_parser(
+        "serve", help="serve the stored feed over HTTP (foreground)"
+    )
+    serve.add_argument("store_dir", type=pathlib.Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8337, help="listen port (0 = ephemeral)"
+    )
+    pull = feed_sub.add_parser(
+        "pull", help="perform one feed poll against the stored history"
+    )
+    pull.add_argument("store_dir", type=pathlib.Path)
+    pull.add_argument(
+        "--since",
+        type=int,
+        default=None,
+        help="feed version the client already holds (omitted = fresh client)",
+    )
+    pull.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw response payload instead of the summary",
+    )
+    lag = feed_sub.add_parser(
+        "lag",
+        help="replay a simulated client fleet and print protection lag vs GSB",
+    )
+    lag.add_argument("store_dir", type=pathlib.Path)
+    lag.add_argument("--cohorts", type=int, default=20)
+    lag.add_argument("--clients-per-cohort", type=int, default=50_000)
+    lag.add_argument(
+        "--poll-minutes", type=float, default=30.0, help="client poll interval"
+    )
+    lag.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-poll transient-fault injection probability",
+    )
+    lag.add_argument(
+        "--fleet-seed", type=int, default=0, help="fleet randomness seed"
+    )
     return parser
 
 
@@ -319,9 +378,92 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
 
+def _feed(args) -> int:
+    from repro.feed import (
+        NOT_MODIFIED,
+        FeedClientFleet,
+        FeedRequest,
+        FeedServer,
+        FleetConfig,
+        lag_table,
+    )
+    from repro.store import JsonlStore
+
+    store = JsonlStore.open(args.store_dir)
+    server = FeedServer.from_store(store)
+    latest = server.latest
+    if args.feed_command == "serve":
+        from repro.feed.http import FeedHTTPServer
+
+        httpd = FeedHTTPServer(server, host=args.host, port=args.port)
+        print(
+            f"serving feed v{latest.version} ({len(latest)} entries) "
+            f"at {httpd.url}/v1/feed"
+        )
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            httpd.shutdown()
+        return 0
+    if args.feed_command == "pull":
+        response = server.handle(FeedRequest(client_version=args.since))
+        if args.as_json:
+            sys.stdout.write(response.payload.decode("utf-8"))
+            if response.payload:
+                sys.stdout.write("\n")
+            return 0
+        print(
+            f"{response.status}: v{response.version} "
+            f"hash={response.content_hash[:12] or '-'} "
+            f"bytes={response.size}"
+        )
+        if response.status != NOT_MODIFIED:
+            print(
+                f"history: {len(server.snapshots)} versions, "
+                f"latest has {len(latest)} entries"
+            )
+        return 0
+    # lag
+    from repro.store.persist import load_world
+
+    world = load_world(store)
+    config = FleetConfig(
+        cohorts=args.cohorts,
+        clients_per_cohort=args.clients_per_cohort,
+        poll_interval_minutes=args.poll_minutes,
+        fault_rate=args.fault_rate,
+        seed=args.fleet_seed,
+    )
+    fleet = FeedClientFleet(server, config, gsb=world.gsb)
+    report = fleet.run()
+    print(
+        f"fleet: {report.modeled_clients} modeled clients in "
+        f"{config.cohorts} cohorts, {report.polls} polls "
+        f"({report.modeled_requests} modeled requests, "
+        f"{report.failed_attempts} faulted attempts)"
+    )
+    print(
+        f"feed: {len(server.snapshots)} versions, "
+        f"{len(report.protection)} protected domains"
+    )
+    print("")
+    print(reports.render_table(lag_table(report), "PROTECTION LAG"))
+    head_start = report.mean_head_start_days()
+    if head_start is not None:
+        print(
+            f"\nmean head start over GSB: {head_start:.1f} days "
+            f"(GSB ever lists {100 * report.gsb_listed_fraction():.1f}%)"
+        )
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "resume":
         return _resume(args)
+    if args.command == "feed":
+        return _feed(args)
     if args.command == "trace":
         from repro.telemetry.summarize import render_summary, summarize_trace
 

@@ -21,17 +21,34 @@ from repro.imaging.distance import hamming
 _WORDS = 16
 _WORD_BITS = DHASH_BITS // _WORDS  # 8
 
+#: popcount of every byte value — the lookup table that turns XOR-ed
+#: byte matrices into bit distances without a Python-level loop.
+_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def _byte_matrix(hashes: Sequence[int]) -> np.ndarray:
+    """Each 128-bit hash as a row of 16 big-endian bytes."""
+    return np.frombuffer(
+        b"".join(value.to_bytes(_WORDS, "big") for value in hashes),
+        dtype=np.uint8,
+    ).reshape(len(hashes), _WORDS)
+
 
 def pairwise_hamming_matrix(hashes: Sequence[int]) -> np.ndarray:
-    """Dense pairwise Hamming distance matrix (small populations only)."""
+    """Dense pairwise Hamming distance matrix.
+
+    Vectorized: hashes are decomposed into byte rows, XOR-ed pairwise by
+    broadcasting, and the per-byte popcounts summed via a 256-entry
+    lookup table — no Python-level pair loop.
+    """
     count = len(hashes)
-    matrix = np.zeros((count, count), dtype=np.int16)
-    for i in range(count):
-        for j in range(i + 1, count):
-            distance = hamming(hashes[i], hashes[j])
-            matrix[i, j] = distance
-            matrix[j, i] = distance
-    return matrix
+    if count == 0:
+        return np.zeros((0, 0), dtype=np.int16)
+    bytes_matrix = _byte_matrix(hashes)
+    xor = bytes_matrix[:, None, :] ^ bytes_matrix[None, :, :]
+    return _POPCOUNT[xor].sum(axis=2, dtype=np.int16)
 
 
 class HammingNeighborIndex:
@@ -52,16 +69,19 @@ class HammingNeighborIndex:
             for index, value in enumerate(self._hashes):
                 for word_index, word in enumerate(_words_of(value)):
                     self._buckets[word_index].setdefault(word, []).append(index)
+        else:
+            # Linear-scan regime: keep the byte decomposition around so
+            # each scan is one vectorized XOR + popcount pass.
+            self._bytes = _byte_matrix(self._hashes)
 
     def neighbors_of(self, index: int) -> list[int]:
         """Indices (including ``index``) within the radius of point ``index``."""
         query = self._hashes[index]
         if not self._exact_bucketing:
-            return [
-                other
-                for other, value in enumerate(self._hashes)
-                if hamming(query, value) <= self._radius
-            ]
+            distances = _POPCOUNT[self._bytes ^ self._bytes[index]].sum(
+                axis=1, dtype=np.int16
+            )
+            return np.flatnonzero(distances <= self._radius).tolist()
         candidates: set[int] = set()
         for word_index, word in enumerate(_words_of(query)):
             candidates.update(self._buckets[word_index].get(word, ()))

@@ -87,6 +87,9 @@ class MilkedDomain:
     listed_at_discovery: bool
     observed_listed_at: float | None = None
     listed_at_final: bool = False
+    #: Latest milking session that still served this domain (equals
+    #: ``discovered_at`` until the domain is sighted again).
+    last_seen_at: float = 0.0
 
 
 @dataclass
@@ -189,6 +192,13 @@ class MilkingTracker:
         self.virustotal = virustotal
         self.vantage = vantage
         self.sources: list[MilkingSource] = []
+        #: Observers notified of discoveries, re-sightings and round
+        #: boundaries — the feed publisher's hook
+        #: (:class:`repro.feed.publisher.FeedPublisher`).  An observer
+        #: implements ``domain_discovered(record, now)``,
+        #: ``domain_seen(record, now)``, ``round_complete(now)`` and
+        #: ``milking_finished(now)``.
+        self.observers: list = []
         self._source_ids = 0
         #: (url, ua_name, cluster_id) triples already verified or added,
         #: so repeated derivations over a growing discovery stay additive.
@@ -278,6 +288,10 @@ class MilkingTracker:
         self.sources.append(source)
         return source
 
+    def add_observer(self, observer) -> None:
+        """Register a milking observer (see :attr:`observers`)."""
+        self.observers.append(observer)
+
     def _verify(self, url: str, ua_name: str, known_hashes: set[int]) -> bool:
         """Pilot visit: does the candidate lead back to the campaign?"""
         client = self._client(ua_name)
@@ -328,6 +342,8 @@ class MilkingTracker:
                             scheduler, source, report, watchlist, config,
                             milk_end, attempt=0,
                         )
+            for observer in self.observers:
+                observer.round_complete(now)
 
         def gsb_round(now: float) -> None:
             for domain, record in watchlist.items():
@@ -345,6 +361,8 @@ class MilkingTracker:
         )
         scheduler.run_until(lookups_end)
         report.finished_at = milk_end
+        for observer in self.observers:
+            observer.milking_finished(milk_end)
 
         # Final late lookup, two months on (§4.5).
         final_at = milk_end + config.final_lookup_extra_days * DAY
@@ -438,17 +456,25 @@ class MilkingTracker:
         source.known_hashes.add(shot_hash)
         host = tab.current_url.host
         domain = e2ld(host)
-        if domain not in watchlist:
+        record = watchlist.get(domain)
+        if record is None:
             record = MilkedDomain(
                 domain=domain,
                 cluster_id=source.cluster_id,
                 category=source.category,
                 discovered_at=clock.now(),
                 listed_at_discovery=self.gsb.lookup(domain, clock.now()),
+                last_seen_at=clock.now(),
             )
             watchlist[domain] = record
             report.domains.append(record)
             current_telemetry().inc("milking.domains")
+            for observer in self.observers:
+                observer.domain_discovered(record, clock.now())
+        elif record.last_seen_at < clock.now():
+            record.last_seen_at = clock.now()
+            for observer in self.observers:
+                observer.domain_seen(record, clock.now())
         if config.interact_with_pages:
             self._interact(client, tab, source, report)
         return True

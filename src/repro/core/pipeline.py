@@ -67,9 +67,12 @@ from repro.ecosystem.world import World
 from repro.errors import ConfigError, StoreError
 from repro.faults.retry import RetryPolicy, ensure_resilience
 from repro.faults.stats import FaultStats
+from repro.feed.publisher import FeedPublisher, network_of_clusters
+from repro.feed.snapshot import FeedSnapshot
 from repro.store.base import (
     ATTRIBUTION,
     CAMPAIGNS,
+    FEED,
     HASHES,
     INTERACTIONS,
     MILKING,
@@ -105,6 +108,9 @@ class PipelineResult:
     new_patterns: list[InvariantPattern] = field(default_factory=list)
     expanded_publishers: list[str] = field(default_factory=list)
     milking: MilkingReport | None = None
+    #: Versioned blocklist snapshots the milking run published (empty when
+    #: milking was skipped or discovered nothing).
+    feed: list[FeedSnapshot] = field(default_factory=list)
     #: Injected-fault and recovery counters (None when the world has no
     #: fault plan and no retry machinery was requested).
     fault_stats: FaultStats | None = None
@@ -123,6 +129,7 @@ class SeacmaPipeline:
         theta_c: int = 5,
         retries_enabled: bool = True,
         retry_policy: RetryPolicy | None = None,
+        feed_interval_minutes: float = 60.0,
     ) -> None:
         self.world = world
         self.farm_config = farm_config if farm_config is not None else FarmConfig()
@@ -134,6 +141,7 @@ class SeacmaPipeline:
         self.theta_c = theta_c
         self.retries_enabled = retries_enabled
         self.retry_policy = retry_policy
+        self.feed_interval_minutes = feed_interval_minutes
         self._ensure_resilience()
 
     def _ensure_resilience(self) -> None:
@@ -212,10 +220,36 @@ class SeacmaPipeline:
             self.world.vantages_residential[0],
         )
 
-    def milk(self, discovery: DiscoveryResult) -> MilkingReport:
-        """⑥ Verify milkable URLs and run the milking experiment."""
+    def feed_publisher(
+        self,
+        discovery: DiscoveryResult,
+        attribution: AttributionResult | None = None,
+    ) -> FeedPublisher:
+        """A blocklist publisher wired for this run's campaign census.
+
+        Attach it to :meth:`milk` via ``observers`` and it cuts a
+        versioned :class:`~repro.feed.snapshot.FeedSnapshot` at round
+        boundaries (rate-limited to one per ``feed_interval_minutes`` of
+        sim time), attributing each entry to the ad network serving the
+        plurality of its campaign's interactions.
+        """
+        return FeedPublisher(
+            network_of_cluster=network_of_clusters(discovery, attribution),
+            interval_minutes=self.feed_interval_minutes,
+        )
+
+    def milk(
+        self, discovery: DiscoveryResult, observers: tuple = ()
+    ) -> MilkingReport:
+        """⑥ Verify milkable URLs and run the milking experiment.
+
+        ``observers`` are registered on the tracker before the run — the
+        hook the feed publisher uses to see discoveries live.
+        """
         tracker = self.milking_tracker()
         tracker.derive_sources(discovery)
+        for observer in observers:
+            tracker.add_observer(observer)
         return tracker.run(self.milking_config)
 
     # ---------------------------------------------------------------- run
@@ -248,7 +282,13 @@ class SeacmaPipeline:
                 )
             if with_milking:
                 with telemetry.span("stage.milking"):
-                    result.milking = self.milk(result.discovery)
+                    publisher = self.feed_publisher(
+                        result.discovery, result.attribution
+                    )
+                    result.milking = self.milk(
+                        result.discovery, observers=(publisher,)
+                    )
+                    result.feed = publisher.snapshots
             result.fault_stats = self.world.internet.fault_stats
             telemetry.record_fault_stats(result.fault_stats)
             telemetry.set_gauge(
@@ -571,8 +611,17 @@ class StreamingRun:
         store.put_meta("expanded_publishers", result.expanded_publishers)
         if self.with_milking:
             with telemetry.span("stage.milking"):
-                result.milking = pipeline.milk(result.discovery)
+                publisher = pipeline.feed_publisher(
+                    result.discovery, result.attribution
+                )
+                result.milking = pipeline.milk(
+                    result.discovery, observers=(publisher,)
+                )
+                result.feed = publisher.snapshots
             store.extend(MILKING, milking_to_records(result.milking))
+            store.extend(
+                FEED, (snapshot.to_record() for snapshot in result.feed)
+            )
         result.fault_stats = pipeline.world.internet.fault_stats
         telemetry.record_fault_stats(result.fault_stats)
         telemetry.set_gauge("crawl.publishers", dataset.publishers_visited)

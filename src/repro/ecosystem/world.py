@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any
 
 from repro.adnet.serving import AdNetworkServer
 from repro.adnet.spec import DISCOVERABLE_NETWORK_SPECS, SEED_NETWORK_SPECS
@@ -106,9 +107,13 @@ class WorldConfig:
     # ------------------------------------------------------------- presets
 
     @classmethod
-    def tiny(cls, seed: int = 7) -> "WorldConfig":
-        """Unit-test scale: seconds to build and crawl."""
-        return cls(
+    def tiny(cls, seed: int = 7, **overrides: Any) -> "WorldConfig":
+        """Unit-test scale: seconds to build and crawl.
+
+        Extra keyword arguments override any field of the preset, e.g.
+        ``WorldConfig.tiny(fault_rate=0.05)``.
+        """
+        settings: dict[str, Any] = dict(
             seed=seed,
             n_publishers=120,
             n_campaigns=12,
@@ -118,22 +123,26 @@ class WorldConfig:
             n_parking_providers=4,
             n_stock_sets=3,
         )
+        settings.update(overrides)
+        return cls(**settings)
 
     @classmethod
-    def small(cls, seed: int = 7) -> "WorldConfig":
+    def small(cls, seed: int = 7, **overrides: Any) -> "WorldConfig":
         """Benchmark scale: stable ratios, sub-minute runs."""
-        return cls(seed=seed)
+        return cls(seed=seed, **overrides)
 
     @classmethod
-    def paper_scale(cls, seed: int = 7) -> "WorldConfig":
+    def paper_scale(cls, seed: int = 7, **overrides: Any) -> "WorldConfig":
         """The paper's magnitudes (slow; hours of compute)."""
-        return cls(
+        settings: dict[str, Any] = dict(
             seed=seed,
             n_publishers=93_427,
             n_campaigns=108,
             crawl_window_days=14.0,
             n_advertisers=4_000,
         )
+        settings.update(overrides)
+        return cls(**settings)
 
 
 class World:

@@ -1,0 +1,142 @@
+"""HTTP front-end for the feed server (stdlib only).
+
+``seacma feed serve`` mounts a :class:`~repro.feed.server.FeedServer`
+behind a small JSON-over-HTTP API so real clients (or ``curl``) can pull
+the blocklist:
+
+* ``GET /v1/feed`` — the latest full snapshot;
+* ``GET /v1/feed?since=N`` — the delta from version ``N`` (falls back to
+  a full snapshot when the delta would not be smaller, mirroring the
+  in-process protocol);
+* ``If-None-Match: <content-hash>`` — conditional request; answered
+  ``304 Not Modified`` without building a payload;
+* ``GET /v1/stats`` — request-accounting counters;
+* ``GET /healthz`` — liveness.
+
+Every response carries ``ETag`` (the snapshot content hash) and
+``X-Feed-Version`` headers.  The handler is a thin translation layer:
+all protocol decisions stay in :meth:`FeedServer.handle`, so the HTTP
+surface and the in-process surface can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.feed.server import NOT_MODIFIED, FeedRequest, FeedServer
+
+
+class _FeedRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into :class:`FeedRequest` calls."""
+
+    server_version = "seacma-feed/1"
+    #: Set by :class:`FeedHTTPServer`.
+    feed: FeedServer
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._send(200, b'{"status":"ok"}\n')
+            return
+        if parsed.path == "/v1/stats":
+            stats = self.feed.stats
+            body = json.dumps(
+                {
+                    "requests": stats.requests,
+                    "full": stats.full_responses,
+                    "delta": stats.delta_responses,
+                    "not_modified": stats.not_modified_responses,
+                    "cache_hits": stats.cache_hits,
+                    "cache_misses": stats.cache_misses,
+                    "bytes_served": stats.bytes_served,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            self._send(200, body + b"\n")
+            return
+        if parsed.path != "/v1/feed":
+            self._send(404, b'{"error":"unknown path"}\n')
+            return
+        query = parse_qs(parsed.query)
+        since = query.get("since", [None])[0]
+        try:
+            client_version = int(since) if since is not None else None
+        except ValueError:
+            self._send(400, b'{"error":"since must be an integer version"}\n')
+            return
+        request = FeedRequest(
+            client_version=client_version,
+            client_hash=self.headers.get("If-None-Match"),
+        )
+        response = self.feed.handle(request)
+        headers = {
+            "ETag": response.content_hash,
+            "X-Feed-Version": str(response.version),
+            "X-Feed-Status": response.status,
+        }
+        if response.status == NOT_MODIFIED:
+            self._send(304, b"", headers)
+        else:
+            self._send(200, response.payload, headers)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet by default; stats live at /v1/stats
+
+    def _send(self, status: int, body: bytes, headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+
+class FeedHTTPServer:
+    """A threaded HTTP server bound to a :class:`FeedServer`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`) — the testing and benchmarking mode.
+    """
+
+    def __init__(self, feed: FeedServer, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("BoundFeedHandler", (_FeedRequestHandler,), {"feed": feed})
+        self.feed = feed
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve until interrupted (the CLI foreground mode)."""
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "FeedHTTPServer":
+        """Serve from a daemon thread (tests and benchmarks)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "FeedHTTPServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

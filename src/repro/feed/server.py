@@ -1,0 +1,234 @@
+"""The versioned feed server.
+
+Serves the snapshot history a :class:`~repro.feed.publisher.FeedPublisher`
+produced, speaking the snapshot/delta protocol of
+:mod:`repro.feed.snapshot`:
+
+* a client with no state gets the latest **full snapshot**;
+* a client at a known older version gets the **delta** to the latest —
+  unless the delta would be no smaller than the full payload, in which
+  case the full snapshot is cheaper for everyone;
+* a client already at the latest version (by version number or by
+  content hash — the conditional-request / ``ETag`` path) is
+  short-circuited with **not-modified** before any payload is built.
+
+Deltas are memoized in a bounded LRU cache: a fleet of clients polling
+at similar cadences keeps hitting the same ``(from, to)`` pairs, so the
+cache turns the steady state into dictionary lookups.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigError, StoreError
+from repro.feed.snapshot import FeedDelta, FeedSnapshot, compute_delta
+from repro.telemetry import current as current_telemetry
+
+#: Response status tags (the protocol's three verbs).
+FULL = "full"
+DELTA = "delta"
+NOT_MODIFIED = "not_modified"
+
+
+@dataclass(frozen=True)
+class FeedRequest:
+    """One client poll.
+
+    ``client_version``/``client_hash`` describe the state the client
+    already holds (both ``None`` for a fresh client).  ``client_hash``
+    doubles as the conditional-request validator: when it matches the
+    latest snapshot's content hash the server answers not-modified
+    without touching the payload path.
+    """
+
+    client_version: int | None = None
+    client_hash: str | None = None
+
+
+@dataclass(frozen=True)
+class FeedResponse:
+    """The server's answer: status, target version, and the payload."""
+
+    status: str
+    version: int
+    content_hash: str
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class ServerStats:
+    """Request accounting (also mirrored into telemetry counters)."""
+
+    requests: int = 0
+    full_responses: int = 0
+    delta_responses: int = 0
+    not_modified_responses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_served: int = 0
+    by_status: dict = field(default_factory=dict)
+
+    def record(self, status: str, size: int) -> None:
+        self.requests += 1
+        self.bytes_served += size
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+
+
+class FeedServer:
+    """Serves full-snapshot and delta-since-version blocklist requests."""
+
+    def __init__(
+        self, snapshots: Iterable[FeedSnapshot], delta_cache_size: int = 128
+    ) -> None:
+        self.snapshots = list(snapshots)
+        if not self.snapshots:
+            raise ConfigError(
+                "feed server needs at least one published snapshot; run the "
+                "pipeline with milking enabled to produce a feed"
+            )
+        versions = [snapshot.version for snapshot in self.snapshots]
+        if versions != sorted(set(versions)):
+            raise ConfigError(
+                "feed snapshot history is not strictly version-ordered: "
+                f"{versions}"
+            )
+        if delta_cache_size < 1:
+            raise ValueError("delta_cache_size must be at least 1")
+        self._by_version = {snapshot.version: snapshot for snapshot in self.snapshots}
+        self._delta_cache: OrderedDict[tuple[int, int], FeedDelta] = OrderedDict()
+        self._delta_cache_size = delta_cache_size
+        self.stats = ServerStats()
+
+    @classmethod
+    def from_store(cls, store, delta_cache_size: int = 128) -> "FeedServer":
+        """Open the feed a streamed run persisted into its store."""
+        # Imported here: the store package must not depend on repro.feed.
+        from repro.store.base import FEED
+
+        records = store.read(FEED)
+        if not records:
+            raise StoreError(
+                f"store {store.run_id!r} holds no feed snapshots; run "
+                "`seacma run --stream --store-dir DIR` (with milking "
+                "enabled) to publish a feed"
+            )
+        return cls(
+            (FeedSnapshot.from_record(record) for record in records),
+            delta_cache_size=delta_cache_size,
+        )
+
+    # ------------------------------------------------------------- protocol
+
+    @property
+    def latest(self) -> FeedSnapshot:
+        return self.snapshots[-1]
+
+    def snapshot(self, version: int) -> FeedSnapshot:
+        """The snapshot at ``version`` (raises on unknown versions)."""
+        snapshot = self._by_version.get(version)
+        if snapshot is None:
+            raise ConfigError(f"unknown feed version: {version}")
+        return snapshot
+
+    def latest_at(self, now: float) -> FeedSnapshot | None:
+        """The newest snapshot published at or before sim time ``now``.
+
+        Lets a sim-clock client fleet replay the publication timeline
+        against the full history: the server answers each poll as it
+        would have at that instant.
+        """
+        latest = None
+        for snapshot in self.snapshots:
+            if snapshot.published_at > now:
+                break
+            latest = snapshot
+        return latest
+
+    def handle(self, request: FeedRequest, now: float | None = None) -> FeedResponse:
+        """Answer one poll; see the module docstring for the policy.
+
+        ``now`` scopes the request to the history published by that sim
+        time (:meth:`latest_at`); omitted, the whole history is visible.
+        """
+        telemetry = current_telemetry()
+        latest = self.latest if now is None else self.latest_at(now)
+        if latest is None:
+            # Nothing published yet at this sim instant: the client's
+            # empty state is already current.
+            response = FeedResponse(
+                status=NOT_MODIFIED, version=0, content_hash="", payload=b""
+            )
+            self.stats.not_modified_responses += 1
+            self.stats.record(response.status, 0)
+            if telemetry.enabled:
+                telemetry.inc("feed.server.requests")
+                telemetry.inc(f"feed.server.{response.status}")
+            return response
+        if (
+            request.client_hash == latest.content_hash
+            or request.client_version == latest.version
+        ):
+            response = FeedResponse(
+                status=NOT_MODIFIED,
+                version=latest.version,
+                content_hash=latest.content_hash,
+                payload=b"",
+            )
+            self.stats.not_modified_responses += 1
+        else:
+            response = self._payload_response(request, latest)
+        self.stats.record(response.status, response.size)
+        if telemetry.enabled:
+            telemetry.inc("feed.server.requests")
+            telemetry.inc(f"feed.server.{response.status}")
+            telemetry.observe("feed.server.response_bytes", response.size)
+        return response
+
+    def _payload_response(
+        self, request: FeedRequest, latest: FeedSnapshot
+    ) -> FeedResponse:
+        base = (
+            self._by_version.get(request.client_version)
+            if request.client_version is not None
+            else None
+        )
+        if base is not None:
+            delta = self._delta(base, latest)
+            payload = delta.canonical_bytes()
+            full_payload = latest.canonical_bytes()
+            if len(payload) < len(full_payload):
+                self.stats.delta_responses += 1
+                return FeedResponse(
+                    status=DELTA,
+                    version=latest.version,
+                    content_hash=latest.content_hash,
+                    payload=payload,
+                )
+        self.stats.full_responses += 1
+        return FeedResponse(
+            status=FULL,
+            version=latest.version,
+            content_hash=latest.content_hash,
+            payload=latest.canonical_bytes(),
+        )
+
+    def _delta(self, base: FeedSnapshot, target: FeedSnapshot) -> FeedDelta:
+        key = (base.version, target.version)
+        cached = self._delta_cache.get(key)
+        if cached is not None:
+            self._delta_cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        delta = compute_delta(base, target)
+        self._delta_cache[key] = delta
+        while len(self._delta_cache) > self._delta_cache_size:
+            self._delta_cache.popitem(last=False)
+        return delta

@@ -2,16 +2,18 @@
 
 The streaming pipeline (:mod:`repro.core.pipeline`) writes every
 artifact — crawl interactions, screenshot hashes, discovered campaigns,
-attribution rows, milking samples — to a :class:`RunStore` as typed,
+attribution rows, milking samples, blocklist-feed snapshots — to a
+:class:`RunStore` as typed,
 append-only record streams.  :class:`MemoryStore` backs in-process runs;
 :class:`JsonlStore` backs durable runs that can be stopped, resumed
 (``repro resume DIR``) and re-reported offline
-(:func:`repro.store.persist.load_run`).
+(:func:`repro.store.persist.load_result`).
 """
 
 from repro.store.base import (
     ATTRIBUTION,
     CAMPAIGNS,
+    FEED,
     HASHES,
     INTERACTIONS,
     META,
@@ -32,6 +34,7 @@ __all__ = [
     "HASHES",
     "CAMPAIGNS",
     "ATTRIBUTION",
+    "FEED",
     "MILKING",
     "PROGRESS",
     "META",

@@ -34,11 +34,23 @@ ATTRIBUTION = "attribution"
 MILKING = "milking"
 #: Stream of crawl progress markers (one per completed publisher domain).
 PROGRESS = "progress"
+#: Stream of published blocklist-feed snapshots (one record per feed
+#: version; schema owned by :mod:`repro.feed.snapshot`).
+FEED = "feed"
 #: Key/value metadata stream (append-only, last write wins per key).
 META = "meta"
 
 #: Every canonical stream, in write order.
-STREAMS = (INTERACTIONS, HASHES, CAMPAIGNS, ATTRIBUTION, MILKING, PROGRESS, META)
+STREAMS = (
+    INTERACTIONS,
+    HASHES,
+    CAMPAIGNS,
+    ATTRIBUTION,
+    MILKING,
+    PROGRESS,
+    FEED,
+    META,
+)
 
 
 @runtime_checkable

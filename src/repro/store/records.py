@@ -208,6 +208,7 @@ def milking_to_records(report: MilkingReport) -> list[dict[str, Any]]:
                 "cluster_id": domain.cluster_id,
                 "category": domain.category.value if domain.category else None,
                 "discovered_at": domain.discovered_at,
+                "last_seen_at": domain.last_seen_at,
                 "listed_at_discovery": domain.listed_at_discovery,
                 "observed_listed_at": domain.observed_listed_at,
                 "listed_at_final": domain.listed_at_final,
@@ -254,6 +255,8 @@ def milking_from_records(rows: list[dict[str, Any]]) -> MilkingReport:
                     if item["category"]
                     else None,
                     discovered_at=item["discovered_at"],
+                    # Absent in stores written before the feed existed.
+                    last_seen_at=item.get("last_seen_at", item["discovered_at"]),
                     listed_at_discovery=item["listed_at_discovery"],
                     observed_listed_at=item["observed_listed_at"],
                     listed_at_final=item["listed_at_final"],

@@ -40,3 +40,23 @@ def pipeline_run():
 def fresh_world():
     """A function-scoped tiny world safe to mutate."""
     return build_world(WorldConfig.tiny(seed=11))
+
+
+@pytest.fixture(scope="session")
+def feed_store(tmp_path_factory):
+    """A streamed, milking-enabled tiny run persisted with its feed.
+
+    Returns ``(store_dir, store, result)``; shared across the suite —
+    treat the store as read-only.
+    """
+    from repro.store import JsonlStore
+
+    directory = tmp_path_factory.mktemp("feed-store")
+    world = build_world(WorldConfig.tiny(seed=7))
+    pipeline = SeacmaPipeline(
+        world,
+        milking_config=MilkingConfig(duration_days=2.0, post_lookup_days=2.0),
+    )
+    store = JsonlStore(directory, run_id="feed-tiny-7")
+    result = pipeline.run_streaming(store=store)
+    return directory, store, result

@@ -186,6 +186,22 @@ class TestHelpCoverage:
         assert actions, "CLI parser lost its subcommands"
         return actions[0].choices
 
+    def _all_subparsers(self):
+        """Every subparser keyed by its full path, nested groups
+        (``trace summarize``, ``feed serve`` ...) included."""
+        found = {}
+
+        def walk(prefix, parser):
+            for action in parser._actions:
+                if isinstance(action, argparse._SubParsersAction):
+                    for name, sub in action.choices.items():
+                        path = f"{prefix} {name}".strip()
+                        found[path] = sub
+                        walk(path, sub)
+
+        walk("", build_parser())
+        return found
+
     def test_every_subcommand_documented(self):
         doc = cli_module.__doc__
         for name in self._subparsers():
@@ -193,7 +209,7 @@ class TestHelpCoverage:
 
     def test_every_flag_documented(self):
         doc = cli_module.__doc__
-        for name, sub in self._subparsers().items():
+        for name, sub in self._all_subparsers().items():
             for action in sub._actions:
                 for option in action.option_strings:
                     if option.startswith("--") and option != "--help":
@@ -205,7 +221,7 @@ class TestHelpCoverage:
         """Every --flag the docstring mentions must exist on some subparser."""
         real = {
             option
-            for sub in self._subparsers().values()
+            for sub in self._all_subparsers().values()
             for action in sub._actions
             for option in action.option_strings
             if option.startswith("--")
@@ -290,3 +306,76 @@ class TestTelemetryFlags:
         output = capsys.readouterr().out
         assert "trace written" not in output
         assert "seacma_" not in output
+
+
+class TestFeedCommands:
+    def test_parser_feed_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["feed", "pull", "store", "--since", "3", "--json"]
+        )
+        assert args.command == "feed" and args.feed_command == "pull"
+        assert str(args.store_dir) == "store"
+        assert args.since == 3 and args.as_json
+        args = parser.parse_args(
+            ["feed", "lag", "store", "--cohorts", "4",
+             "--clients-per-cohort", "100", "--poll-minutes", "15"]
+        )
+        assert args.feed_command == "lag"
+        assert args.cohorts == 4 and args.clients_per_cohort == 100
+        assert args.poll_minutes == 15.0
+
+    def test_feed_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["feed"])
+
+    def test_pull_full_then_not_modified(self, feed_store, capsys):
+        store_dir, _, result = feed_store
+        assert main(["feed", "pull", str(store_dir)]) == 0
+        assert capsys.readouterr().out.startswith("full: ")
+        latest = result.feed[-1]
+        code = main(
+            ["feed", "pull", str(store_dir), "--since", str(latest.version)]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("not_modified:")
+
+    def test_pull_json_payload_matches_run(self, feed_store, capsys):
+        store_dir, _, result = feed_store
+        assert main(["feed", "pull", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        latest = result.feed[-1]
+        assert payload["version"] == latest.version
+        assert payload["content_hash"] == latest.content_hash
+        assert len(payload["entries"]) == len(latest)
+
+    def test_pull_delta_since_first_version(self, feed_store, capsys):
+        store_dir, _, result = feed_store
+        if len(result.feed) < 2:
+            pytest.skip("run published a single feed version")
+        assert main(
+            ["feed", "pull", str(store_dir), "--since", "1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "delta"
+        assert payload["from_version"] == 1
+        assert payload["to_version"] == result.feed[-1].version
+
+    def test_lag_prints_protection_table(self, feed_store, capsys):
+        store_dir, _, _ = feed_store
+        code = main(
+            ["feed", "lag", str(store_dir), "--cohorts", "3",
+             "--clients-per-cohort", "100", "--poll-minutes", "60"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "PROTECTION LAG" in output
+        assert "ALL" in output
+        assert "300 modeled clients" in output
+
+    def test_feed_on_store_without_feed_fails_cleanly(self, tmp_path, capsys):
+        code = main(["feed", "pull", str(tmp_path / "absent")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err

@@ -17,6 +17,25 @@ class TestPairwiseMatrix:
         assert matrix[0, 2] == 4
         assert np.array_equal(matrix, matrix.T)
 
+    def test_matches_scalar_hamming_on_random_population(self):
+        rng = random.Random(7)
+        hashes = [rng.getrandbits(128) for _ in range(40)]
+        matrix = pairwise_hamming_matrix(hashes)
+        for i in range(len(hashes)):
+            for j in range(len(hashes)):
+                assert matrix[i, j] == hamming(hashes[i], hashes[j])
+
+    def test_empty_population(self):
+        matrix = pairwise_hamming_matrix([])
+        assert matrix.shape == (0, 0)
+        assert matrix.dtype == np.int16
+
+    def test_dtype_and_extremes(self):
+        # All 128 bits differ between 0 and the all-ones hash.
+        matrix = pairwise_hamming_matrix([0, (1 << 128) - 1])
+        assert matrix.dtype == np.int16
+        assert matrix[0, 1] == matrix[1, 0] == 128
+
 
 def brute_force_neighbors(hashes, index, radius):
     return sorted(
@@ -70,3 +89,48 @@ class TestHammingNeighborIndex:
 
         with pytest.raises(ValueError):
             HammingNeighborIndex([0], radius_bits=-1)
+
+
+class TestLinearScanFallback:
+    """radius_bits >= 16 leaves the exact-bucketing regime (a 16-bit
+    difference can touch all 16 words), so the index must scan."""
+
+    population = TestHammingNeighborIndex().make_population
+
+    def test_boundary_radius_16_uses_scan_and_is_exact(self):
+        hashes = self.population(seed=3, count=80)
+        index = HammingNeighborIndex(hashes, radius_bits=16)
+        assert not index._exact_bucketing
+        for probe in range(0, len(hashes), 5):
+            assert index.neighbors_of(probe) == brute_force_neighbors(
+                hashes, probe, 16
+            )
+
+    def test_radius_15_still_buckets(self):
+        index = HammingNeighborIndex([0, 1], radius_bits=15)
+        assert index._exact_bucketing
+
+    def test_scan_results_sorted_and_include_self(self):
+        hashes = self.population(seed=4, count=50)
+        index = HammingNeighborIndex(hashes, radius_bits=20)
+        for probe in range(0, len(hashes), 11):
+            neighbors = index.neighbors_of(probe)
+            assert neighbors == sorted(neighbors)
+            assert probe in neighbors
+
+    def test_huge_radius_returns_everything(self):
+        hashes = self.population(seed=5, count=30)
+        index = HammingNeighborIndex(hashes, radius_bits=128)
+        assert index.neighbors_of(0) == list(range(len(hashes)))
+
+    def test_scan_matches_bucketed_answers_at_shared_radius(self):
+        # Same population, radius just inside vs outside the bucketing
+        # regime: any point's 15-bit neighbours must be a subset of its
+        # 16-bit neighbours, and both must agree with brute force.
+        hashes = self.population(seed=6, count=60)
+        bucketed = HammingNeighborIndex(hashes, radius_bits=15)
+        scanned = HammingNeighborIndex(hashes, radius_bits=16)
+        for probe in range(0, len(hashes), 9):
+            inner = set(bucketed.neighbors_of(probe))
+            outer = set(scanned.neighbors_of(probe))
+            assert inner <= outer

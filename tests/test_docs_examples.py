@@ -1,0 +1,199 @@
+"""Executable documentation: the fenced examples in README.md and
+docs/*.md must actually work.
+
+Three layers of enforcement:
+
+* every ``python`` block compiles (cheap, always on), and — in the
+  ``slow`` tier / the CI docs job — the blocks of each file are
+  executed top to bottom in one shared namespace, exactly as a reader
+  would paste them;
+* every ``seacma`` line inside a ``bash`` block parses against the
+  real CLI argument parser, so documented flags cannot drift from the
+  implementation;
+* every backticked reference to a repository path, test node or
+  ``repro.*`` module resolves, so renames cannot silently strand the
+  docs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import shlex
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+DOC_FILES = (
+    "README.md",
+    "docs/api_guide.md",
+    "docs/operations.md",
+    "docs/paper_mapping.md",
+    "docs/calibration.md",
+)
+
+#: Fence languages the documentation is allowed to use.  ``text`` is
+#: for output transcripts and directory listings; unlabeled fences are
+#: forbidden so new blocks must opt into (or explicitly out of)
+#: checking.
+KNOWN_LANGUAGES = {"python", "bash", "text"}
+
+_FENCE = re.compile(r"^```(\S*)\s*$")
+
+#: Backticked refs that look like repo paths or importable modules.
+_PATH_REF = re.compile(
+    r"^(?:tests|benchmarks|examples|docs|src)/[\w/.-]+\.(?:py|md|json)"
+    r"(?:::[\w.]+)*$"
+)
+_MODULE_REF = re.compile(r"^repro(?:\.\w+)+$")
+
+
+def extract_blocks(relpath: str) -> list[tuple[str, str, int]]:
+    """``(language, code, first_line)`` for every fenced block."""
+    blocks = []
+    language, start, lines = None, 0, []
+    for number, raw in enumerate(
+        (REPO / relpath).read_text().splitlines(), start=1
+    ):
+        match = _FENCE.match(raw)
+        if match is None:
+            if language is not None:
+                lines.append(raw)
+            continue
+        if language is None:
+            language, start, lines = match.group(1), number + 1, []
+        else:
+            blocks.append((language, "\n".join(lines) + "\n", start))
+            language = None
+    assert language is None, f"{relpath}: unterminated fence at {start}"
+    return blocks
+
+
+def cli_lines(code: str):
+    """Logical shell lines, with ``\\`` continuations joined."""
+    pending = ""
+    for raw in code.splitlines():
+        line = (pending + " " + raw.strip()).strip() if pending else raw.strip()
+        pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1].strip()
+            continue
+        if line:
+            yield line
+
+
+def docs_with(language: str) -> list[str]:
+    return [
+        relpath
+        for relpath in DOC_FILES
+        if (REPO / relpath).exists()
+        and any(lang == language for lang, _, _ in extract_blocks(relpath))
+    ]
+
+
+class TestFences:
+    @pytest.mark.parametrize("relpath", DOC_FILES)
+    def test_languages_are_known(self, relpath):
+        for language, _, line in extract_blocks(relpath):
+            assert language in KNOWN_LANGUAGES, (
+                f"{relpath}:{line}: fence language {language!r} is not one "
+                f"of {sorted(KNOWN_LANGUAGES)}"
+            )
+
+    @pytest.mark.parametrize("relpath", docs_with("python"))
+    def test_python_blocks_compile(self, relpath):
+        for language, code, line in extract_blocks(relpath):
+            if language == "python":
+                compile(code, f"{relpath}:{line}", "exec")
+
+
+class TestPythonExamples:
+    """Each file's ``python`` blocks are one pasteable session."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("relpath", docs_with("python"))
+    def test_blocks_execute_in_order(self, relpath, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # examples may write runs/, artifacts/
+        namespace: dict = {"__name__": "__docs__"}
+        for language, code, line in extract_blocks(relpath):
+            if language != "python":
+                continue
+            exec(compile(code, f"{relpath}:{line}", "exec"), namespace)
+
+
+class TestCliExamples:
+    @pytest.mark.parametrize("relpath", docs_with("bash"))
+    def test_seacma_lines_parse(self, relpath):
+        checked = 0
+        for language, code, line in extract_blocks(relpath):
+            if language != "bash":
+                continue
+            for logical in cli_lines(code):
+                tokens = shlex.split(logical, comments=True)
+                if not tokens:
+                    continue
+                if tokens[0] == "python" and len(tokens) > 1:
+                    script = tokens[1]
+                    if script.endswith(".py"):
+                        assert (REPO / script).exists(), (
+                            f"{relpath}:{line}: {script} does not exist"
+                        )
+                    continue
+                if tokens[0] != "seacma":
+                    continue  # pip / pytest / etc: not ours to validate
+                try:
+                    build_parser().parse_args(tokens[1:])
+                except SystemExit:
+                    pytest.fail(
+                        f"{relpath}:{line}: documented command does not "
+                        f"parse: {logical}"
+                    )
+                checked += 1
+        assert checked, f"{relpath}: no seacma examples found in bash blocks"
+
+
+def resolve_module_ref(ref: str) -> bool:
+    parts = ref.split(".")
+    for depth in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:depth]))
+        except ImportError:
+            continue
+        obj = module
+        try:
+            for name in parts[depth:]:
+                obj = getattr(obj, name)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+class TestReferences:
+    @pytest.mark.parametrize("relpath", DOC_FILES)
+    def test_backticked_references_resolve(self, relpath):
+        text = (REPO / relpath).read_text()
+        problems = []
+        for ref in sorted(set(re.findall(r"`([^`\n]+)`", text))):
+            if _PATH_REF.match(ref):
+                path, *nodes = ref.split("::")
+                if not (REPO / path).exists():
+                    problems.append(f"missing file: {ref}")
+                    continue
+                source = (REPO / path).read_text()
+                for node in nodes:
+                    if not re.search(
+                        rf"(?:class|def) {re.escape(node)}\b", source
+                    ):
+                        problems.append(f"missing node: {ref}")
+                        break
+            elif _MODULE_REF.match(ref):
+                if not resolve_module_ref(ref):
+                    problems.append(f"unresolvable module path: {ref}")
+        assert not problems, f"{relpath}: stale references:\n" + "\n".join(
+            problems
+        )

@@ -27,6 +27,19 @@ class TestWorldConfig:
     def test_explicit_new_publishers(self):
         assert WorldConfig(n_new_publishers=3).resolved_new_publishers == 3
 
+    def test_preset_overrides(self):
+        config = WorldConfig.tiny(seed=3, fault_rate=0.05, n_campaigns=8)
+        assert config.seed == 3
+        assert config.fault_rate == 0.05
+        assert config.n_campaigns == 8
+        assert config.n_publishers == 120  # untouched preset field
+        assert WorldConfig.small(syndication_prob=0.0).syndication_prob == 0.0
+        assert WorldConfig.paper_scale(n_campaigns=100).n_campaigns == 100
+
+    def test_preset_overrides_still_validated(self):
+        with pytest.raises(WorldConfigError):
+            WorldConfig.tiny(fault_rate=1.5)
+
     def test_invalid_configs_rejected(self):
         with pytest.raises(WorldConfigError):
             WorldConfig(n_publishers=0)

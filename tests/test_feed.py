@@ -1,0 +1,442 @@
+"""Unit tests for the versioned blocklist feed (``repro.feed``).
+
+Covers the wire format (snapshots, deltas, hashes), the publisher's
+observer behaviour, the server protocol (full/delta/not-modified, the
+LRU delta cache, time-scoped requests), the simulated client fleet, and
+the HTTP front-end.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.clock import HOUR, MINUTE
+from repro.errors import ConfigError, StoreError
+from repro.feed import (
+    DELTA,
+    FULL,
+    NOT_MODIFIED,
+    FeedClientFleet,
+    FeedDelta,
+    FeedEntry,
+    FeedPublisher,
+    FeedRequest,
+    FeedServer,
+    FeedSnapshot,
+    FleetConfig,
+    apply_delta,
+    compute_delta,
+    lag_table,
+    network_of_clusters,
+    state_hash,
+)
+from repro.feed.http import FeedHTTPServer
+from repro.store.memory import MemoryStore
+
+
+def entry(domain: str, first: float = 0.0, last: float = 0.0, **kwargs) -> FeedEntry:
+    return FeedEntry(
+        domain=domain,
+        cluster_id=kwargs.get("cluster_id", 1),
+        category=kwargs.get("category", "Fake Software"),
+        network=kwargs.get("network", "adnet-a"),
+        first_seen=first,
+        last_seen=last or first,
+    )
+
+
+def snapshot(version: int, at: float, *domains: str) -> FeedSnapshot:
+    # Entry timestamps are fixed (not ``at``) so an unchanged domain is
+    # byte-identical across versions — deltas stay minimal.
+    return FeedSnapshot.build(
+        version=version, published_at=at, entries=[entry(d) for d in domains]
+    )
+
+
+class TestSnapshot:
+    def test_build_sorts_entries_by_domain(self):
+        snap = snapshot(1, 0.0, "zebra.com", "apple.com", "mango.com")
+        assert snap.domains() == ["apple.com", "mango.com", "zebra.com"]
+
+    def test_duplicate_domains_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            snapshot(1, 0.0, "a.com", "a.com")
+
+    def test_content_hash_is_pure_function_of_entries(self):
+        one = snapshot(1, 0.0, "a.com", "b.com")
+        two = snapshot(7, 999.0, "b.com", "a.com")
+        assert one.content_hash == two.content_hash  # metadata excluded
+
+    def test_canonical_bytes_stable_and_compact(self):
+        snap = snapshot(1, 0.0, "a.com")
+        payload = snap.canonical_bytes()
+        assert payload == snap.canonical_bytes()
+        assert b", " not in payload and b": " not in payload  # compact separators
+        record = json.loads(payload)
+        assert record["format"] == "seacma-feed/1"
+        assert list(record) == sorted(record)  # sorted keys
+
+    def test_record_round_trip_reverifies_hash(self):
+        snap = snapshot(3, 100.0, "a.com", "b.com")
+        again = FeedSnapshot.from_record(snap.to_record())
+        assert again == snap
+
+    def test_damaged_record_rejected(self):
+        record = snapshot(1, 0.0, "a.com").to_record()
+        record["entries"][0]["domain"] = "evil.com"
+        with pytest.raises(ConfigError, match="hash check"):
+            FeedSnapshot.from_record(record)
+
+
+class TestDelta:
+    def test_delta_categorizes_changes(self):
+        old = FeedSnapshot.build(1, 0.0, [entry("keep.com"), entry("gone.com"),
+                                          entry("stale.com", 0.0)])
+        new = FeedSnapshot.build(
+            2,
+            HOUR,
+            [entry("keep.com"), entry("fresh.com", HOUR),
+             entry("stale.com", 0.0, HOUR)],
+        )
+        delta = compute_delta(old, new)
+        assert [e.domain for e in delta.added] == ["fresh.com"]
+        assert [e.domain for e in delta.updated] == ["stale.com"]
+        assert delta.removed == ("gone.com",)
+        assert delta.change_count == 3
+
+    def test_apply_delta_reconstructs_target_state(self):
+        old = snapshot(1, 0.0, "a.com", "b.com")
+        new = snapshot(2, HOUR, "b.com", "c.com")
+        delta = compute_delta(old, new)
+        state = apply_delta(old.entry_map(), delta)
+        assert sorted(state) == ["b.com", "c.com"]
+        assert state_hash(state) == new.content_hash == delta.to_hash
+
+    def test_backwards_delta_rejected(self):
+        with pytest.raises(ConfigError, match="forward"):
+            compute_delta(snapshot(2, HOUR, "a.com"), snapshot(1, 0.0, "a.com"))
+
+    def test_delta_record_round_trip(self):
+        delta = compute_delta(
+            snapshot(1, 0.0, "a.com"), snapshot(2, HOUR, "b.com")
+        )
+        assert FeedDelta.from_record(delta.to_record()) == delta
+
+
+class _FakeMilkedDomain:
+    def __init__(self, domain, cluster_id=1, category=None, discovered_at=0.0):
+        self.domain = domain
+        self.cluster_id = cluster_id
+        self.category = category
+        self.discovered_at = discovered_at
+
+
+class TestPublisher:
+    def test_publishes_at_round_boundaries(self):
+        publisher = FeedPublisher(interval_minutes=60.0)
+        publisher.domain_discovered(_FakeMilkedDomain("a.com"), 0.0)
+        publisher.round_complete(0.0)
+        assert publisher.latest.version == 1
+        assert publisher.latest.domains() == ["a.com"]
+
+    def test_rate_limited_to_interval(self):
+        publisher = FeedPublisher(interval_minutes=60.0)
+        publisher.domain_discovered(_FakeMilkedDomain("a.com"), 0.0)
+        publisher.round_complete(0.0)
+        publisher.domain_discovered(_FakeMilkedDomain("b.com"), 10 * MINUTE)
+        publisher.round_complete(10 * MINUTE)  # too soon — held back
+        assert len(publisher.snapshots) == 1
+        publisher.round_complete(HOUR)  # interval elapsed — published
+        assert len(publisher.snapshots) == 2
+        assert publisher.latest.domains() == ["a.com", "b.com"]
+
+    def test_quiet_rounds_publish_nothing(self):
+        publisher = FeedPublisher(interval_minutes=60.0)
+        publisher.domain_discovered(_FakeMilkedDomain("a.com"), 0.0)
+        publisher.round_complete(0.0)
+        for hour in range(1, 4):
+            publisher.round_complete(hour * HOUR)
+        assert len(publisher.snapshots) == 1
+
+    def test_milking_finished_flushes_pending_changes(self):
+        publisher = FeedPublisher(interval_minutes=60.0)
+        publisher.domain_discovered(_FakeMilkedDomain("a.com"), 0.0)
+        publisher.round_complete(0.0)
+        publisher.domain_discovered(_FakeMilkedDomain("b.com"), 10 * MINUTE)
+        publisher.milking_finished(20 * MINUTE)
+        assert len(publisher.snapshots) == 2
+
+    def test_domain_seen_refreshes_last_seen(self):
+        publisher = FeedPublisher(interval_minutes=60.0)
+        record = _FakeMilkedDomain("a.com")
+        publisher.domain_discovered(record, 0.0)
+        publisher.round_complete(0.0)
+        publisher.domain_seen(record, 2 * HOUR)
+        publisher.round_complete(2 * HOUR)
+        assert publisher.latest.entries[0].last_seen == 2 * HOUR
+        assert publisher.latest.entries[0].first_seen == 0.0
+
+    def test_network_attribution_applied(self):
+        publisher = FeedPublisher(
+            network_of_cluster={5: "adnet-x"}, interval_minutes=60.0
+        )
+        publisher.domain_discovered(_FakeMilkedDomain("a.com", cluster_id=5), 0.0)
+        publisher.domain_discovered(_FakeMilkedDomain("b.com", cluster_id=9), 0.0)
+        publisher.milking_finished(0.0)
+        by_domain = publisher.latest.entry_map()
+        assert by_domain["a.com"].network == "adnet-x"
+        assert by_domain["b.com"].network is None
+
+
+class TestServer:
+    def history(self):
+        return [
+            snapshot(1, 0 * HOUR, "a.com"),
+            snapshot(2, 1 * HOUR, "a.com", "b.com"),
+            snapshot(3, 2 * HOUR, "a.com", "b.com", "c.com"),
+        ]
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            FeedServer([])
+
+    def test_unordered_history_rejected(self):
+        with pytest.raises(ConfigError, match="version-ordered"):
+            FeedServer([snapshot(2, HOUR, "a.com"), snapshot(1, 0.0, "a.com")])
+
+    def test_fresh_client_gets_full_snapshot(self):
+        server = FeedServer(self.history())
+        response = server.handle(FeedRequest())
+        assert response.status == FULL
+        assert response.version == 3
+        assert json.loads(response.payload)["kind"] == "snapshot"
+
+    def test_stale_client_gets_delta(self):
+        server = FeedServer(self.history())
+        response = server.handle(FeedRequest(client_version=1))
+        assert response.status == DELTA
+        payload = json.loads(response.payload)
+        assert payload["from_version"] == 1 and payload["to_version"] == 3
+        assert [e["domain"] for e in payload["added"]] == ["b.com", "c.com"]
+
+    def test_current_client_not_modified_by_version_and_by_hash(self):
+        server = FeedServer(self.history())
+        latest = server.latest
+        by_version = server.handle(FeedRequest(client_version=3))
+        by_hash = server.handle(FeedRequest(client_hash=latest.content_hash))
+        assert by_version.status == by_hash.status == NOT_MODIFIED
+        assert by_version.payload == by_hash.payload == b""
+
+    def test_unknown_client_version_falls_back_to_full(self):
+        server = FeedServer(self.history())
+        response = server.handle(FeedRequest(client_version=99))
+        assert response.status == FULL
+
+    def test_delta_cache_hits_on_repeat_polls(self):
+        server = FeedServer(self.history())
+        server.handle(FeedRequest(client_version=1))
+        server.handle(FeedRequest(client_version=1))
+        assert server.stats.cache_misses == 1
+        assert server.stats.cache_hits == 1
+
+    def test_delta_cache_is_bounded_lru(self):
+        history = [
+            snapshot(v, v * HOUR, *[f"d{i}.com" for i in range(v)])
+            for v in range(1, 6)
+        ]
+        server = FeedServer(history, delta_cache_size=2)
+        for version in (1, 2, 3):
+            server.handle(FeedRequest(client_version=version))
+        assert len(server._delta_cache) == 2
+        # (1, 5) was evicted; polling it again misses.
+        misses = server.stats.cache_misses
+        server.handle(FeedRequest(client_version=1))
+        assert server.stats.cache_misses == misses + 1
+
+    def test_time_scoped_requests_see_only_published_history(self):
+        server = FeedServer(self.history())
+        early = server.handle(FeedRequest(), now=0.0)
+        assert early.status == FULL and early.version == 1
+        nothing = server.handle(FeedRequest(), now=-1.0)
+        assert nothing.status == NOT_MODIFIED and nothing.version == 0
+
+    def test_from_store_round_trip(self):
+        from repro.store.base import FEED
+
+        store = MemoryStore(run_id="t")
+        store.extend(FEED, (snap.to_record() for snap in self.history()))
+        server = FeedServer.from_store(store)
+        assert [snap.version for snap in server.snapshots] == [1, 2, 3]
+
+    def test_from_store_without_feed_raises_store_error(self):
+        with pytest.raises(StoreError, match="no feed snapshots"):
+            FeedServer.from_store(MemoryStore(run_id="t"))
+
+    def test_stats_account_every_request(self):
+        server = FeedServer(self.history())
+        server.handle(FeedRequest())
+        server.handle(FeedRequest(client_version=1))
+        server.handle(FeedRequest(client_version=3))
+        stats = server.stats
+        assert stats.requests == 3
+        assert stats.full_responses == 1
+        assert stats.delta_responses == 1
+        assert stats.not_modified_responses == 1
+        assert stats.bytes_served > 0
+
+
+class _NeverGsb:
+    def listed_time(self, domain):
+        return None
+
+
+class TestFleet:
+    def history(self):
+        return [
+            snapshot(1, 0 * HOUR, "a.com"),
+            snapshot(2, 2 * HOUR, "a.com", "b.com"),
+        ]
+
+    def test_every_cohort_converges_to_latest(self):
+        server = FeedServer(self.history())
+        fleet = FeedClientFleet(
+            server,
+            FleetConfig(cohorts=3, clients_per_cohort=10, poll_interval_minutes=30.0),
+        )
+        report = fleet.run()
+        assert len(report.protection) == 2
+        assert report.modeled_clients == 30
+        assert report.modeled_requests == report.polls * 10
+
+    def test_fleet_is_deterministic(self):
+        def run():
+            server = FeedServer(self.history())
+            config = FleetConfig(
+                cohorts=4,
+                clients_per_cohort=10,
+                poll_interval_minutes=30.0,
+                fault_rate=0.2,
+                seed=3,
+            )
+            return FeedClientFleet(server, config, gsb=_NeverGsb()).run()
+
+        one, two = run(), run()
+        assert one.polls == two.polls
+        assert one.failed_attempts == two.failed_attempts
+        assert one.protection == two.protection
+
+    def test_faults_delay_but_do_not_lose_protection(self):
+        server = FeedServer(self.history())
+        config = FleetConfig(
+            cohorts=4,
+            clients_per_cohort=10,
+            poll_interval_minutes=30.0,
+            fault_rate=0.4,
+            seed=1,
+        )
+        report = FeedClientFleet(server, config).run()
+        assert report.failed_attempts > 0
+        assert len(report.protection) == 2  # still fully protected
+
+    def test_protection_never_precedes_publication(self):
+        server = FeedServer(self.history())
+        report = FeedClientFleet(
+            server, FleetConfig(cohorts=3, clients_per_cohort=10)
+        ).run()
+        for item in report.protection:
+            assert item.first_protected_at >= item.published_at
+
+    def test_empty_window_rejected(self):
+        server = FeedServer(self.history())
+        fleet = FeedClientFleet(server, FleetConfig(cohorts=1, clients_per_cohort=1))
+        with pytest.raises(ConfigError, match="empty"):
+            fleet.run(start=10 * HOUR, until=10 * HOUR)
+
+    def test_lag_table_has_all_row_last(self):
+        server = FeedServer(self.history())
+        report = FeedClientFleet(
+            server, FleetConfig(cohorts=2, clients_per_cohort=10)
+        ).run()
+        rows = lag_table(report)
+        assert rows[-1].category == "ALL"
+        assert rows[-1].domains == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(cohorts=0)
+        with pytest.raises(ValueError):
+            FleetConfig(poll_interval_minutes=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(fault_rate=1.0)
+        with pytest.raises(ValueError):
+            FleetConfig(max_attempts=0)
+
+
+class TestNetworkOfClusters:
+    def test_plurality_vote_with_deterministic_tiebreak(self, pipeline_run):
+        _, _, result = pipeline_run
+        mapping = network_of_clusters(result.discovery, result.attribution)
+        cluster_ids = {c.cluster_id for c in result.discovery.seacma_campaigns}
+        assert set(mapping) == cluster_ids
+        # Every value is a known network key or None.
+        keys = set(result.attribution.by_network)
+        assert all(value is None or value in keys for value in mapping.values())
+
+    def test_no_attribution_yields_empty_map(self, pipeline_run):
+        _, _, result = pipeline_run
+        assert network_of_clusters(result.discovery, None) == {}
+
+
+class TestHTTP:
+    def history(self):
+        return [
+            snapshot(1, 0 * HOUR, "a.com"),
+            snapshot(2, 1 * HOUR, "a.com", "b.com"),
+        ]
+
+    def fetch(self, url, headers=None):
+        request = urllib.request.Request(url, headers=headers or {})
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def test_full_delta_and_conditional_requests(self):
+        server = FeedServer(self.history())
+        with FeedHTTPServer(server) as httpd:
+            status, headers, body = self.fetch(f"{httpd.url}/v1/feed")
+            assert status == 200
+            assert headers["X-Feed-Status"] == FULL
+            payload = json.loads(body)
+            assert payload["version"] == 2
+
+            status, headers, body = self.fetch(f"{httpd.url}/v1/feed?since=1")
+            assert status == 200
+            assert headers["X-Feed-Status"] == DELTA
+
+            etag = headers["ETag"]
+            status, headers, body = self.fetch(
+                f"{httpd.url}/v1/feed", headers={"If-None-Match": etag}
+            )
+            assert status == 304
+            assert body == b""
+
+    def test_stats_healthz_and_errors(self):
+        server = FeedServer(self.history())
+        with FeedHTTPServer(server) as httpd:
+            status, _, body = self.fetch(f"{httpd.url}/healthz")
+            assert status == 200 and json.loads(body)["status"] == "ok"
+
+            self.fetch(f"{httpd.url}/v1/feed")
+            status, _, body = self.fetch(f"{httpd.url}/v1/stats")
+            assert status == 200
+            assert json.loads(body)["requests"] >= 1
+
+            status, _, _ = self.fetch(f"{httpd.url}/v1/feed?since=banana")
+            assert status == 400
+            status, _, _ = self.fetch(f"{httpd.url}/nope")
+            assert status == 404
