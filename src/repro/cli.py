@@ -9,15 +9,16 @@ Subcommands::
     seacma run       --preset tiny --seed 7 --days 2 [--fault-rate P]
                      [--no-retries] [--no-milking] [--out DIR]
                      [--stream --store-dir DIR [--batch-domains N]
-                      [--workers K]]
+                      [--workers K] [--fsync]]
                      [--trace-dir DIR] [--metrics]
     seacma resume    STORE_DIR --days 2 [--no-milking]
-                     [--batch-domains N] [--workers K]
+                     [--batch-domains N] [--workers K] [--fsync]
                      [--trace-dir DIR] [--metrics]
     seacma tables    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma feeds     --preset tiny --seed 7 --days 2
     seacma report    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma trace     summarize TRACE_DIR
+    seacma store     check STORE_DIR
     seacma feed      serve STORE_DIR [--host H] [--port N]
     seacma feed      pull  STORE_DIR [--since N] [--json]
     seacma feed      lag   STORE_DIR [--cohorts N] [--clients-per-cohort N]
@@ -33,7 +34,12 @@ the crawl across K worker processes (byte-identical results to
 faults.  ``--trace-dir`` records a telemetry trace (``spans.jsonl``,
 Chrome ``trace.json``, ``metrics.prom``) without changing a single
 output byte; ``--metrics`` prints the metrics registry after the run;
-``trace summarize`` aggregates a recorded trace offline.
+``trace summarize`` aggregates a recorded trace offline.  ``--fsync``
+additionally fsyncs every store write (the paranoid durability mode;
+off by default).  ``store check`` validates a run store end to end —
+repairing torn tails, rolling back uncommitted write intents, and
+printing per-stream record counts — and exits non-zero on corruption
+that crash recovery cannot explain.
 
 The ``feed`` group works against the versioned blocklist a streamed,
 milking-enabled run published into its store: ``feed serve`` mounts it
@@ -127,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
                 help="crawl worker processes (requires --stream; results "
                 "are byte-identical to --workers 1)",
             )
+            command.add_argument(
+                "--fsync",
+                action="store_true",
+                help="fsync every store write (durability against power "
+                "loss, not just process death)",
+            )
             _add_telemetry_arguments(command)
         if name in ("tables", "report"):
             command.add_argument(
@@ -145,7 +157,21 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--workers", type=int, default=1, help="crawl worker processes"
     )
+    resume.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every store write while resuming",
+    )
     _add_telemetry_arguments(resume)
+    store = sub.add_parser(
+        "store", help="inspect and repair durable run stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    check = store_sub.add_parser(
+        "check",
+        help="validate a run store, repairing recoverable crash damage",
+    )
+    check.add_argument("store_dir", type=pathlib.Path)
     trace = sub.add_parser(
         "trace", help="inspect a telemetry trace written by --trace-dir"
     )
@@ -240,7 +266,9 @@ def _run_pipeline(args):
                 from repro.store import JsonlStore
 
                 store = JsonlStore(
-                    args.store_dir, run_id=f"{args.preset}-{args.seed}"
+                    args.store_dir,
+                    run_id=f"{args.preset}-{args.seed}",
+                    fsync=args.fsync,
                 )
             result = pipeline.run_streaming(
                 store=store,
@@ -296,7 +324,7 @@ def _resume(args) -> int:
     from repro.store import JsonlStore
     from repro.store.persist import load_world
 
-    store = JsonlStore.open(args.store_dir)
+    store = JsonlStore.open(args.store_dir, fsync=args.fsync)
     world = load_world(store)
     pipeline = SeacmaPipeline(world, milking_config=_milking_config(args))
     telemetry = _activate_telemetry(args, world)
@@ -459,9 +487,52 @@ def _feed(args) -> int:
     return 0
 
 
+def _store_check(args) -> int:
+    """``seacma store check``: validate (and repair) a run store.
+
+    Recoverable crash damage — torn tails, stale truncate temps, an
+    uncommitted write intent — is repaired and reported; corruption a
+    crash cannot explain raises :class:`~repro.errors.StoreError`, which
+    :func:`main` turns into a one-line stderr message and exit code 2.
+    """
+    from repro.store import JsonlStore
+
+    store = JsonlStore.open(args.store_dir)
+    recovery = store.last_recovery
+    counts = store.check()
+    store.close()
+    status = "clean" if recovery.clean else "repaired"
+    print(f"run {store.run_id!r} at {args.store_dir}: {status}")
+    if recovery.stale_temps:
+        print(
+            f"  removed {len(recovery.stale_temps)} stale truncate "
+            f"temp file(s): {', '.join(recovery.stale_temps)}"
+        )
+    for stream, torn in sorted(recovery.torn_tails.items()):
+        print(f"  repaired torn tail: {stream} ({torn} bytes trimmed)")
+    if recovery.intent_rolled_back is not None:
+        dropped = ", ".join(
+            f"{stream}: {count}"
+            for stream, count in sorted(recovery.records_rolled_back.items())
+        )
+        print(
+            f"  rolled back uncommitted intent "
+            f"{recovery.intent_rolled_back!r}"
+            + (f" ({dropped})" if dropped else "")
+        )
+    for stream in recovery.streams_removed:
+        print(f"  removed stream born inside the rolled-back intent: {stream}")
+    print("  streams:")
+    for stream, count in sorted(counts.items()):
+        print(f"    {stream:<14} {count:>8} records")
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "resume":
         return _resume(args)
+    if args.command == "store":
+        return _store_check(args)
     if args.command == "feed":
         return _feed(args)
     if args.command == "trace":

@@ -36,6 +36,7 @@ import logging
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.chaos.points import crash_point
 from repro.core.attribution import (
     AttributionResult,
     IncrementalAttribution,
@@ -369,11 +370,13 @@ class SeacmaPipeline:
 
         The world must match the stored one (same
         :class:`~repro.ecosystem.world.WorldConfig`) — use
-        :func:`repro.store.persist.load_world` to rebuild it.  Like
-        restarting real measurement infrastructure against the live
-        internet, the continued portion is deterministic given the store
-        but not byte-identical to the run the crash interrupted: the ad
-        servers' serving state does not survive the crash.
+        :func:`repro.store.persist.load_world` to rebuild it.  Because
+        every request-order-dependent stream in the simulation is keyed
+        by crawl scope, the rebuilt world replays each remaining domain
+        exactly as the interrupted run would have crawled it: the
+        resumed store's streams end up *byte-identical* to an
+        uninterrupted run's (the invariant ``tests/test_chaos.py``
+        enforces at every crash point).
         """
         run = StreamingRun(
             self,
@@ -452,6 +455,12 @@ class StreamingRun:
                     "resume it with `repro resume` or start the new run in "
                     "an empty store"
                 )
+            # One intent for the whole identity block: a run whose
+            # process dies between these writes must roll back to "no
+            # run here" rather than resume from half an identity (e.g.
+            # a status with no started_at would replant the virtual
+            # clock at zero).
+            store.begin_intent("run-init")
             store.put_meta("status", "running")
             store.put_meta("started_at", pipeline.world.clock.now())
             store.put_meta(
@@ -462,6 +471,7 @@ class StreamingRun:
                 [pattern_to_record(pattern) for pattern in self.result.patterns],
             )
             store.put_meta("publisher_domains", self.result.publisher_domains)
+            store.commit_intent()
 
     # ----------------------------------------------------------- crawling
 
@@ -490,7 +500,13 @@ class StreamingRun:
             attrs={"publishers": len(self.result.publisher_domains)},
         ):
             for batch in batches:
+                # The batch's rows, hashes and progress marker land
+                # all-or-nothing: a crash inside the barrier rolls the
+                # store back to the previous batch boundary on resume,
+                # and the domain is simply re-crawled.
+                store.begin_intent(f"batch:{batch.domain}")
                 self.writer.ingest(batch.interactions)
+                crash_point("checkpoint.persist")
                 checkpoint = self.farm.checkpoint
                 store.append(
                     PROGRESS,
@@ -503,6 +519,7 @@ class StreamingRun:
                         interaction_rows=self.writer.rows_written,
                     ),
                 )
+                store.commit_intent()
                 # The canonical per-domain span: plan-derived start, batch
                 # clock end — a pure function of (world config, arguments),
                 # identical whichever process ran the sessions.
@@ -580,6 +597,12 @@ class StreamingRun:
             )
         result.crawl = dataset
         telemetry = current_telemetry()
+        # Everything finalize writes — summary metadata, campaigns,
+        # attribution, milking, feed — is one barrier: a crash anywhere
+        # inside rolls the store back to "crawl finished, not yet
+        # finalized", and the resumed run finalizes from scratch instead
+        # of appending a second copy behind the partial first one.
+        store.begin_intent("finalize")
         store.put_meta("crawl_summary", crawl_summary_to_meta(dataset))
         with telemetry.span("stage.discovery"):
             result.discovery = self.discovery_stage.finalize()
@@ -630,6 +653,7 @@ class StreamingRun:
         )
         store.put_meta("finished_at", pipeline.world.clock.now())
         store.put_meta("status", "finished")
+        store.commit_intent()
         self._finalized = True
         return result
 

@@ -98,9 +98,13 @@ def table2(
         webpulse.categorize(domain) for domain in publishers
     )
     total = sum(counts.values()) or 1
+    # ``most_common`` breaks count ties by Counter insertion order, which
+    # here follows set iteration — hash-randomized across processes.  The
+    # report must be byte-identical run to run, so ties sort by name.
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     rows = [
         Table2Row(category=name, publisher_domains=count, pct_of_total=100.0 * count / total)
-        for name, count in counts.most_common(top)
+        for name, count in ranked[:top]
     ]
     return rows
 

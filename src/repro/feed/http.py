@@ -17,6 +17,15 @@ Every response carries ``ETag`` (the snapshot content hash) and
 ``X-Feed-Version`` headers.  The handler is a thin translation layer:
 all protocol decisions stay in :meth:`FeedServer.handle`, so the HTTP
 surface and the in-process surface can never drift apart.
+
+Transport hardening: a client that disconnects mid-response
+(``BrokenPipeError`` / ``ConnectionResetError``) is routine internet
+weather, not a server error — the connection is dropped quietly and
+counted.  Every connection carries a socket timeout
+(``request_timeout``), so a stalled reader that accepts the connection
+and then never reads can pin its handler thread for at most that long;
+stalls are counted too.  Both counters surface in ``/v1/stats`` as
+``client_disconnects`` and ``stalled_timeouts``.
 """
 
 from __future__ import annotations
@@ -29,12 +38,48 @@ from urllib.parse import parse_qs, urlparse
 from repro.feed.server import NOT_MODIFIED, FeedRequest, FeedServer
 
 
+class TransportStats:
+    """Thread-safe counters for transport-level client misbehaviour."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.client_disconnects = 0
+        self.stalled_timeouts = 0
+
+    def disconnect(self) -> None:
+        with self._lock:
+            self.client_disconnects += 1
+
+    def stall(self) -> None:
+        with self._lock:
+            self.stalled_timeouts += 1
+
+
 class _FeedRequestHandler(BaseHTTPRequestHandler):
     """Translates HTTP requests into :class:`FeedRequest` calls."""
 
     server_version = "seacma-feed/1"
-    #: Set by :class:`FeedHTTPServer`.
+    #: Set by :class:`FeedHTTPServer` on the bound subclass.
     feed: FeedServer
+    transport: TransportStats
+    #: Per-connection socket timeout (``socketserver`` applies a class
+    #: attribute named ``timeout`` in ``setup()``); bounds how long a
+    #: stalled reader can pin this handler's thread.
+    timeout: float | None = 30.0
+
+    def handle(self) -> None:
+        """One connection, with disconnecting clients demoted to counters.
+
+        The stdlib flushes ``wfile`` *after* ``do_GET`` returns, so a
+        mid-response disconnect can surface here rather than inside
+        :meth:`_send`; either way it must not reach
+        ``socketserver.handle_error`` as a traceback.
+        """
+        try:
+            super().handle()
+        except (BrokenPipeError, ConnectionResetError):
+            self.transport.disconnect()
+            self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
@@ -52,6 +97,8 @@ class _FeedRequestHandler(BaseHTTPRequestHandler):
                     "cache_hits": stats.cache_hits,
                     "cache_misses": stats.cache_misses,
                     "bytes_served": stats.bytes_served,
+                    "client_disconnects": self.transport.client_disconnects,
+                    "stalled_timeouts": self.transport.stalled_timeouts,
                 },
                 sort_keys=True,
             ).encode("utf-8")
@@ -85,15 +132,33 @@ class _FeedRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # quiet by default; stats live at /v1/stats
 
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        # The stdlib routes read-side socket timeouts here as
+        # ``"Request timed out: %r"`` (http.server.handle_one_request) —
+        # the only hook it offers, so the match is on that message.
+        if format.startswith("Request timed out"):
+            self.transport.stall()
+
     def _send(self, status: int, body: bytes, headers: dict | None = None) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        if body:
-            self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            if body:
+                self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response; nothing to salvage.
+            self.transport.disconnect()
+            self.close_connection = True
+        except TimeoutError:
+            # The client accepted the connection but stopped reading and
+            # our send buffer filled: a stalled reader, evicted so the
+            # thread is freed.
+            self.transport.stall()
+            self.close_connection = True
 
 
 class FeedHTTPServer:
@@ -101,10 +166,27 @@ class FeedHTTPServer:
 
     ``port=0`` binds an ephemeral port (read it back from
     :attr:`port`) — the testing and benchmarking mode.
+    ``request_timeout`` is the per-connection socket timeout; ``None``
+    disables it (not recommended outside tests).
     """
 
-    def __init__(self, feed: FeedServer, host: str = "127.0.0.1", port: int = 0) -> None:
-        handler = type("BoundFeedHandler", (_FeedRequestHandler,), {"feed": feed})
+    def __init__(
+        self,
+        feed: FeedServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float | None = 30.0,
+    ) -> None:
+        self.transport = TransportStats()
+        handler = type(
+            "BoundFeedHandler",
+            (_FeedRequestHandler,),
+            {
+                "feed": feed,
+                "transport": self.transport,
+                "timeout": request_timeout,
+            },
+        )
         self.feed = feed
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import TYPE_CHECKING
 
+from repro.chaos.points import crash_point
 from repro.clock import MINUTE
 from repro.feed.snapshot import FeedEntry, FeedSnapshot
 from repro.telemetry import current as current_telemetry
@@ -125,6 +126,7 @@ class FeedPublisher:
     # ----------------------------------------------------------- internals
 
     def _publish(self, now: float) -> None:
+        crash_point("feed.publish.pre")
         snapshot = FeedSnapshot.build(
             version=len(self.snapshots) + 1,
             published_at=now,
@@ -133,6 +135,7 @@ class FeedPublisher:
         self.snapshots.append(snapshot)
         self._dirty = False
         self._last_published_at = now
+        crash_point("feed.publish.post")
         telemetry = current_telemetry()
         telemetry.inc("feed.snapshots")
         telemetry.complete_span(

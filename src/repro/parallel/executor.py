@@ -27,13 +27,16 @@ stream byte-identical to the sequential one.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
+import os
 import shutil
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.chaos.points import CRASH_EXIT_CODE, CrashError, crash_point
 from repro.core.farm import (
     CrawlBatch,
     CrawlCheckpoint,
@@ -64,6 +67,8 @@ from repro.telemetry import (
 
 #: Parent-side poll interval while waiting for the next in-order batch.
 _POLL_SECONDS = 0.01
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -104,9 +109,12 @@ def run_shard(spec: ShardSpec) -> None:
     with path.open("w", encoding="utf-8") as handle:
 
         def emit(record: dict) -> None:
+            crash_point("segment.emit.pre")
             handle.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            crash_point("segment.emit.mid", flush=handle)
             handle.write("\n")
             handle.flush()
+            crash_point("segment.emit.post")
 
         try:
             world = build_world(spec.world_config)
@@ -163,6 +171,12 @@ def run_shard(spec: ShardSpec) -> None:
                     ),
                 )
             )
+        except CrashError:
+            # A scheduled chaos crash: die hard, like the SIGKILL it
+            # stands in for.  No dying-breath error record — the parent
+            # must observe a dead worker to recover from, not an
+            # application failure to report.
+            os._exit(CRASH_EXIT_CODE)
         except Exception as error:  # noqa: BLE001 - forwarded to the parent
             emit({"kind": "error", "shard": spec.shard, "message": str(error)})
             raise
@@ -186,6 +200,7 @@ class ShardedCrawlExecutor:
         segment_dir: str | Path,
         retries_enabled: bool = True,
         retry_policy: RetryPolicy | None = None,
+        max_respawns: int = 3,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be at least 1, got {workers}")
@@ -195,8 +210,21 @@ class ShardedCrawlExecutor:
         self.segment_dir = Path(segment_dir)
         self.retries_enabled = retries_enabled
         self.retry_policy = retry_policy
-        #: ``kind == "spans"`` segment records collected while draining.
-        self._span_payloads: list[dict] = []
+        #: Per-shard budget of deterministic respawns after a worker is
+        #: killed (by signal, or by a scheduled chaos crash).  A worker
+        #: that *fails* — raises, exits nonzero on its own — is never
+        #: respawned: failures are application bugs to surface, deaths
+        #: are infrastructure weather to absorb.
+        self.max_respawns = max_respawns
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._context = multiprocessing.get_context("spawn")
+        #: ``kind == "spans"`` segment records, keyed by shard so a
+        #: respawned worker's payload replaces its predecessor's.
+        self._span_payloads: dict[int, dict] = {}
+        self._respawns: dict[int, int] = {}
+        self._publisher_domains: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ run
 
@@ -225,9 +253,11 @@ class ShardedCrawlExecutor:
             for entry in plan.entries
             if entry.domain not in checkpoint.completed_domains
         ]
-        processes, readers = self._spawn(publisher_domains, checkpoint, plan)
+        self._publisher_domains = tuple(publisher_domains)
+        processes, readers = self._spawn()
         summaries: list[dict] = []
-        self._span_payloads = []
+        self._span_payloads = {}
+        self._respawns = {}
         try:
             yield from self._merge(pending, processes, readers, summaries)
             # Workers write their summary *after* their last batch; the
@@ -240,57 +270,108 @@ class ShardedCrawlExecutor:
                     process.terminate()
                 process.join()
         telemetry = current_telemetry()
+        crash_point("parallel.merge.pre")
         with telemetry.span(
             "parallel.merge", attrs={"workers": self.workers}, lane=SHARD_LANE
         ):
             self._reconcile(plan, checkpoint, summaries)
             if telemetry.enabled:
-                for payload in sorted(
-                    self._span_payloads, key=lambda record: record["shard"]
-                ):
+                for shard in sorted(self._span_payloads):
+                    payload = self._span_payloads[shard]
                     telemetry.tracer.adopt_shard_records(
                         payload["spans"], payload["shard"]
                     )
+        crash_point("parallel.merge.post")
         shutil.rmtree(self.segment_dir, ignore_errors=True)
 
     # ------------------------------------------------------------- plumbing
 
-    def _spawn(
-        self,
-        publisher_domains: list[str],
-        checkpoint: CrawlCheckpoint,
-        plan: CrawlPlan,
-    ) -> tuple[list, list[SegmentReader]]:
+    def _spawn(self) -> tuple[list, list[SegmentReader]]:
         """Start one worker per shard (fork when available, else spawn)."""
-        self.segment_dir.mkdir(parents=True, exist_ok=True)
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context("spawn")
         processes = []
         readers = []
         for shard in range(self.workers):
-            path = segment_path(self.segment_dir, shard, self.workers)
-            spec = ShardSpec(
-                world_config=self.world.config,
-                farm_config=self.farm.config,
-                retries_enabled=self.retries_enabled,
-                retry_policy=self.retry_policy,
-                publisher_domains=tuple(publisher_domains),
-                started_at=checkpoint.dataset.started_at,
-                completed_domains=frozenset(checkpoint.completed_domains),
-                shard=shard,
-                shard_count=self.workers,
-                segment_path=str(path),
-                telemetry=current_telemetry().enabled,
-            )
-            process = context.Process(
-                target=run_shard, args=(spec,), name=f"crawl-shard-{shard}"
-            )
-            process.start()
+            process, reader = self._launch(shard)
             processes.append(process)
-            readers.append(SegmentReader(path))
+            readers.append(reader)
         return processes, readers
+
+    def _launch(self, shard: int) -> tuple[object, SegmentReader]:
+        """(Re)start one shard worker on a clean segment file.
+
+        The spec's ``completed_domains`` is read from the live checkpoint
+        at launch time, so a *respawned* worker skips every domain the
+        merge already absorbed — including its dead predecessor's — and
+        re-crawls only the remainder, deterministically (all
+        request-order-dependent streams are keyed by domain).  The old
+        segment file is unlinked first: its torn tail dies with it, and
+        the fresh :class:`SegmentReader` starts at offset zero.
+        """
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        checkpoint = self.farm.checkpoint
+        path = segment_path(self.segment_dir, shard, self.workers)
+        path.unlink(missing_ok=True)
+        spec = ShardSpec(
+            world_config=self.world.config,
+            farm_config=self.farm.config,
+            retries_enabled=self.retries_enabled,
+            retry_policy=self.retry_policy,
+            publisher_domains=self._publisher_domains,
+            started_at=checkpoint.dataset.started_at,
+            completed_domains=frozenset(checkpoint.completed_domains),
+            shard=shard,
+            shard_count=self.workers,
+            segment_path=str(path),
+            telemetry=current_telemetry().enabled,
+        )
+        process = self._context.Process(
+            target=run_shard, args=(spec,), name=f"crawl-shard-{shard}"
+        )
+        process.start()
+        return process, SegmentReader(path)
+
+    def _handle_death(
+        self,
+        shard: int,
+        processes: list,
+        readers: list[SegmentReader],
+        summaries: list[dict],
+        context: str,
+    ) -> None:
+        """A worker exited abnormally: respawn a killed one, raise otherwise.
+
+        Death by signal (``exitcode < 0``) or by a scheduled chaos crash
+        (:data:`~repro.chaos.points.CRASH_EXIT_CODE`) is recoverable
+        infrastructure weather; any other nonzero exit is an application
+        failure and still raises.  A worker whose summary record already
+        reached the parent finished its work — its death is ignored.
+        """
+        process = processes[shard]
+        code = process.exitcode
+        if any(record["shard"] == shard for record in summaries):
+            return
+        if code is not None and code >= 0 and code != CRASH_EXIT_CODE:
+            raise ReproError(
+                f"crawl shard {shard} (pid {process.pid}) exited with code "
+                f"{code} {context}{self._shard_error(readers[shard])}"
+            )
+        count = self._respawns.get(shard, 0) + 1
+        if count > self.max_respawns:
+            raise ReproError(
+                f"crawl shard {shard} died {count} times (last exit {code}) "
+                f"{context}; respawn budget exhausted"
+            )
+        self._respawns[shard] = count
+        logger.warning(
+            "crawl shard %d died (exit %s) %s; respawning (%d/%d)",
+            shard,
+            code,
+            context,
+            count,
+            self.max_respawns,
+        )
+        current_telemetry().inc("parallel.worker_respawns")
+        processes[shard], readers[shard] = self._launch(shard)
 
     def _merge(
         self,
@@ -312,11 +393,14 @@ class ShardedCrawlExecutor:
                     break
                 process = processes[shard]
                 if not process.is_alive() and process.exitcode not in (0, None):
-                    raise ReproError(
-                        f"crawl shard {shard} (pid {process.pid}) exited with "
-                        f"code {process.exitcode} before finishing "
-                        f"{entry.domain!r}{self._shard_error(readers[shard])}"
+                    self._handle_death(
+                        shard,
+                        processes,
+                        readers,
+                        summaries,
+                        f"before finishing {entry.domain!r}",
                     )
+                    continue
                 if not progressed:
                     time.sleep(_POLL_SECONDS)
             batch = arrived.pop(entry.position)
@@ -343,11 +427,14 @@ class ShardedCrawlExecutor:
                 if shard in delivered or process.is_alive():
                     continue
                 if process.exitcode not in (0, None):
-                    raise ReproError(
-                        f"crawl shard {shard} (pid {process.pid}) exited "
-                        f"with code {process.exitcode} before delivering "
-                        f"its summary record{self._shard_error(readers[shard])}"
+                    self._handle_death(
+                        shard,
+                        processes,
+                        readers,
+                        summaries,
+                        "before delivering its summary record",
                     )
+                    continue
                 exited_cleanly = True
             if not progressed:
                 if exited_cleanly:
@@ -377,7 +464,9 @@ class ShardedCrawlExecutor:
                 elif kind == "summary":
                     summaries.append(record)
                 elif kind == "spans":
-                    self._span_payloads.append(record)
+                    # Keyed by shard: a respawned worker's payload covers
+                    # its whole shard and supersedes the dead attempt's.
+                    self._span_payloads[record["shard"]] = record
                 elif kind == "error":
                     raise ReproError(
                         f"crawl shard {record.get('shard')} failed: "

@@ -22,13 +22,14 @@ from repro.store.base import (
     STREAMS,
     RunStore,
 )
-from repro.store.jsonl import JsonlStore
+from repro.store.jsonl import JsonlStore, RecoveryReport
 from repro.store.memory import MemoryStore
 
 __all__ = [
     "RunStore",
     "MemoryStore",
     "JsonlStore",
+    "RecoveryReport",
     "STREAMS",
     "INTERACTIONS",
     "HASHES",

@@ -99,6 +99,17 @@ class RunStore(Protocol):
         """Latest metadata value for ``key``, or ``default``."""
         ...
 
+    def begin_intent(self, label: str) -> None:
+        """Open a write barrier: the appends until :meth:`commit_intent`
+        form one atomic group that a crash-recovery open rolls back as a
+        unit.  Backends without durable state may treat this as a no-op.
+        """
+        ...
+
+    def commit_intent(self) -> None:
+        """Close the open write barrier; the group of writes is final."""
+        ...
+
 
 class StoreBase:
     """Shared behaviour for the concrete backends.
@@ -128,6 +139,18 @@ class StoreBase:
 
     def truncate(self, stream: str, keep: int) -> None:
         raise NotImplementedError
+
+    # -------------------------------------------------------- write barriers
+
+    def begin_intent(self, label: str) -> None:
+        """No-op by default: an in-process store dies with its process,
+        so there is nothing a recovery pass could observe half-written.
+        Durable backends override this (see
+        :meth:`repro.store.jsonl.JsonlStore.begin_intent`).
+        """
+
+    def commit_intent(self) -> None:
+        """No-op counterpart of :meth:`begin_intent`."""
 
     # ------------------------------------------------------------- metadata
 

@@ -9,37 +9,103 @@ Layout of a store directory::
     <dir>/attribution.jsonl     # per-interaction attribution rows
     <dir>/milking.jsonl         # milking samples + summary
     <dir>/progress.jsonl        # per-domain crawl progress markers
+    <dir>/intent.log            # open write-barrier record, if any
 
 Every write is a single ``json.dumps`` line flushed to disk, so a run
 killed mid-crawl loses at most the record being written; ``repro resume``
 reloads the directory and continues from the last progress marker.
+
+Durability model (see DESIGN.md, "Chaos & durability"):
+
+* *torn tails* — a partial trailing line from a killed append — are
+  expected damage: skipped on read, cut off before the next append;
+* *truncation is atomic*: the kept prefix is written to a sibling
+  ``<stream>.jsonl.tmp`` and swapped in with :func:`os.replace`, so a
+  crash mid-truncate leaves either the old file or the new one, never a
+  half-rewritten stream;
+* *multi-stream updates* (a crawl batch's rows + its progress marker,
+  the finalize block) are bracketed by an **intent record** in
+  ``intent.log``: :meth:`begin_intent` snapshots every stream's record
+  count before the first write, :meth:`commit_intent` retires the
+  snapshot after the last.  Opening a store that died inside an intent
+  rolls every stream back to the snapshot, so the group takes effect
+  all-or-nothing;
+* ``fsync=True`` additionally fsyncs after every append and before
+  every truncate swap — the paranoid mode for real deployments; off by
+  default because the simulation's crash model (process death, not
+  power loss) only needs the OS-level write ordering.
+
+The named ``store.append.*`` / ``store.truncate.*`` call sites are
+:mod:`repro.chaos` crash points; they cost one global check when no
+crash plan is armed.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
 import re
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, IO, Mapping
 
+from repro.chaos.points import crash_point
 from repro.errors import StoreError
 from repro.store.base import META, StoreBase
 from repro.telemetry import current as current_telemetry
 
 _STREAM_NAME = re.compile(r"^[a-z][a-z0-9_-]*$")
 
+#: Name of the write-barrier journal.  Outside the ``*.jsonl`` stream
+#: namespace on purpose: :meth:`JsonlStore.streams` and byte-identity
+#: comparisons over ``*.jsonl`` never see it.
+INTENT_LOG = "intent.log"
+
 logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RecoveryReport:
+    """What opening (or checking) a store had to repair."""
+
+    #: Orphaned ``*.jsonl.tmp`` files removed (interrupted truncates).
+    stale_temps: list[str] = field(default_factory=list)
+    #: Torn trailing bytes trimmed, per stream.
+    torn_tails: dict[str, int] = field(default_factory=dict)
+    #: Label of the uncommitted intent that was rolled back, if any.
+    intent_rolled_back: str | None = None
+    #: Records dropped per stream by the intent rollback.
+    records_rolled_back: dict[str, int] = field(default_factory=dict)
+    #: Streams deleted outright (created after the intent began).
+    streams_removed: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.stale_temps
+            or self.torn_tails
+            or self.intent_rolled_back is not None
+        )
 
 
 class JsonlStore(StoreBase):
     """Append-only JSONL streams in a directory (one run per directory)."""
 
-    def __init__(self, directory: str | Path, run_id: str | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        run_id: str | None = None,
+        fsync: bool = False,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         self._handles: dict[str, IO[str]] = {}
         self._counts: dict[str, int] = {}
+        self._intent_active = False
+        self.last_recovery = RecoveryReport()
+        self._recover()
         existing = self._stream_path(META).exists()
         stored_id = self.get_meta("run_id") if existing else None
         if stored_id is None:
@@ -55,15 +121,41 @@ class JsonlStore(StoreBase):
             self.run_id = stored_id
 
     @classmethod
-    def open(cls, directory: str | Path) -> "JsonlStore":
-        """Open an existing store, refusing to create one implicitly."""
+    def open(cls, directory: str | Path, fsync: bool = False) -> "JsonlStore":
+        """Open an existing store, refusing to create one implicitly.
+
+        A directory whose ``meta.jsonl`` holds no complete ``run_id``
+        record is not a run store — it is the debris of a run that died
+        before its first write committed — so it is refused rather than
+        silently adopted under a default run id.
+        """
         directory = Path(directory)
-        if not (directory / f"{META}.jsonl").exists():
+        if cls._peek_run_id(directory) is None:
             raise StoreError(
-                f"no run store at {directory} (missing {META}.jsonl); "
-                "create one with `repro run --stream --store-dir DIR`"
+                f"no run store at {directory} (missing or incomplete "
+                f"{META}.jsonl); create one with "
+                "`repro run --stream --store-dir DIR`"
             )
-        return cls(directory)
+        return cls(directory, fsync=fsync)
+
+    @staticmethod
+    def _peek_run_id(directory: Path) -> str | None:
+        """The stored run id, read without constructing (or repairing)."""
+        path = directory / f"{META}.jsonl"
+        if not path.exists():
+            return None
+        run_id = None
+        for line in path.read_bytes().split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn or damaged line; keep scanning
+            if isinstance(record, dict) and record.get("key") == "run_id":
+                run_id = record.get("value")
+        return run_id
 
     # ------------------------------------------------------------ plumbing
 
@@ -107,6 +199,22 @@ class JsonlStore(StoreBase):
         tail = data[end + 1 :] if end >= 0 else data
         if not tail.strip():
             return
+        try:
+            json.loads(tail)
+        except json.JSONDecodeError:
+            pass
+        else:
+            # A strict prefix of a serialized JSON object never parses,
+            # so a parseable tail is a complete record that only lost its
+            # terminator — the same line :meth:`read` already returns as
+            # a record.  Truncating it here would drop a record reads
+            # have acknowledged; complete it instead.
+            logger.warning(
+                "completing unterminated trailing record in %s", path
+            )
+            with path.open("ab") as handle:
+                handle.write(b"\n")
+            return
         logger.warning(
             "truncating torn trailing record (%d bytes) in %s before append",
             len(tail),
@@ -115,16 +223,29 @@ class JsonlStore(StoreBase):
         with path.open("r+b") as handle:
             handle.truncate(len(keep))
         self._counts.pop(path.stem, None)
+        self.last_recovery.torn_tails[path.stem] = (
+            self.last_recovery.torn_tails.get(path.stem, 0) + len(tail)
+        )
+
+    def _sync(self, handle: IO[str]) -> None:
+        if self.fsync:
+            os.fsync(handle.fileno())
 
     # ------------------------------------------------------------- protocol
 
     def append(self, stream: str, record: Mapping[str, Any]) -> None:
+        crash_point("store.append.pre")
         before = self.count(stream)
         handle = self._handle(stream)
         line = json.dumps(dict(record), separators=(",", ":"), sort_keys=True)
         handle.write(line)
+        # ``mid`` flushes the newline-less line first, so the crash leaves
+        # exactly the torn tail a real mid-write death leaves.
+        crash_point("store.append.mid", flush=handle)
         handle.write("\n")
         handle.flush()
+        self._sync(handle)
+        crash_point("store.append.post")
         self._counts[stream] = before + 1
         telemetry = current_telemetry()
         if telemetry.enabled:
@@ -184,21 +305,151 @@ class JsonlStore(StoreBase):
         )
 
     def truncate(self, stream: str, keep: int) -> None:
+        """Atomically drop every record of ``stream`` past ``keep``.
+
+        The surviving prefix is written to ``<stream>.jsonl.tmp`` and
+        swapped in with :func:`os.replace`: at no instant does the stream
+        file hold less than either the old or the new contents, so a
+        crash anywhere inside leaves nothing to lose — at worst a stale
+        temp file the next open sweeps up.
+        """
         if keep < 0:
             raise StoreError("keep must be non-negative")
         path = self._stream_path(stream)
         if not path.exists():
             return
+        crash_point("store.truncate.pre")
         handle = self._handles.pop(stream, None)
         if handle is not None:
             handle.close()
         records = self.read(stream)[:keep]
-        with path.open("w", encoding="utf-8") as out:
+        temp = path.with_name(path.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as out:
             for record in records:
                 out.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
                 out.write("\n")
+            out.flush()
+            self._sync(out)
+        # The replacement is fully on disk; the swap is the commit point.
+        crash_point("store.truncate.mid")
+        os.replace(temp, path)
+        crash_point("store.truncate.post")
         self._counts[stream] = len(records)
         current_telemetry().inc(f"store.truncates.{stream}")
+
+    # ------------------------------------------------------ write barriers
+
+    @property
+    def _intent_path(self) -> Path:
+        return self.directory / INTENT_LOG
+
+    def begin_intent(self, label: str) -> None:
+        """Open a write barrier: snapshot every stream's record count.
+
+        Until :meth:`commit_intent`, the store is *provisional*: a crash
+        leaves ``intent.log`` ending in this begin record, and the next
+        open rolls every stream back to the snapshot — so the writes
+        between begin and commit land all-or-nothing.
+        """
+        if self._intent_active:
+            raise StoreError(f"intent {label!r} begun inside an open intent")
+        counts = {stream: self.count(stream) for stream in self.streams()}
+        record = {"op": "begin", "label": label, "counts": counts}
+        with self._intent_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+            self._sync(handle)
+        self._intent_active = True
+
+    def commit_intent(self) -> None:
+        """Retire the open write barrier: the group of writes is final.
+
+        A commit record is flushed before the journal is removed, so a
+        crash between the two still reads as committed — recovery never
+        rolls back work whose commit reached disk.
+        """
+        if not self._intent_active:
+            return
+        with self._intent_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"op":"commit"}\n')
+            handle.flush()
+            self._sync(handle)
+        self._intent_path.unlink()
+        self._intent_active = False
+
+    # ------------------------------------------------------------ recovery
+
+    def _recover(self) -> None:
+        """Sweep up after a crash: stale temps, then the intent journal."""
+        report = self.last_recovery
+        for temp in sorted(self.directory.glob("*.jsonl.tmp")):
+            report.stale_temps.append(temp.name)
+            temp.unlink()
+        path = self._intent_path
+        if not path.exists():
+            return
+        last: dict[str, Any] | None = None
+        for line in path.read_bytes().split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                last = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn record: the write never returned, so no stream
+                # write can have happened under it.  Keep the last
+                # complete record's verdict.
+                continue
+        if last is not None and last.get("op") == "begin":
+            self._roll_back(last)
+        path.unlink()
+
+    def _roll_back(self, begin: dict[str, Any]) -> None:
+        """Undo every stream write made after ``begin`` was journaled."""
+        report = self.last_recovery
+        report.intent_rolled_back = begin.get("label", "")
+        counts = begin.get("counts", {})
+        for path in sorted(self.directory.glob("*.jsonl")):
+            stream = path.stem
+            snapshot = counts.get(stream)
+            if snapshot is None:
+                # Stream born inside the intent: remove it entirely.
+                report.streams_removed.append(stream)
+                path.unlink()
+                self._counts.pop(stream, None)
+                continue
+            self._repair_tail(path)
+            current = self.count(stream)
+            if current > snapshot:
+                report.records_rolled_back[stream] = current - snapshot
+                self.truncate(stream, snapshot)
+        logger.warning(
+            "rolled back uncommitted intent %r: %s",
+            report.intent_rolled_back,
+            report.records_rolled_back or "no records",
+        )
+
+    # ----------------------------------------------------------- integrity
+
+    def check(self) -> dict[str, int]:
+        """Validate every stream end to end; per-stream record counts.
+
+        Eagerly repairs torn tails (recording them in
+        :attr:`last_recovery`) and fully parses every stream, so interior
+        corruption — damage a crash cannot explain — raises
+        :class:`~repro.errors.StoreError` instead of lurking until the
+        damaged record is next read.
+        """
+        counts: dict[str, int] = {}
+        for stream in self.streams():
+            self._repair_tail(self._stream_path(stream))
+            records = self.read(stream)
+            counts[stream] = len(records)
+            self._counts[stream] = len(records)
+        return counts
+
+    # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
         """Close every open file handle (appends reopen lazily)."""

@@ -8,8 +8,12 @@ the HTTP front-end.
 
 from __future__ import annotations
 
+import io
 import json
+import socket
+import time
 import urllib.request
+from http.server import BaseHTTPRequestHandler
 
 import pytest
 
@@ -33,7 +37,7 @@ from repro.feed import (
     network_of_clusters,
     state_hash,
 )
-from repro.feed.http import FeedHTTPServer
+from repro.feed.http import FeedHTTPServer, TransportStats, _FeedRequestHandler
 from repro.store.memory import MemoryStore
 
 
@@ -440,3 +444,105 @@ class TestHTTP:
             assert status == 400
             status, _, _ = self.fetch(f"{httpd.url}/nope")
             assert status == 404
+
+
+class _FailingWriter:
+    """A ``wfile`` stand-in whose every write raises a transport error."""
+
+    def __init__(self, error: type[Exception]) -> None:
+        self.error = error
+
+    def write(self, data: bytes) -> None:
+        raise self.error()
+
+    def flush(self) -> None:
+        raise self.error()
+
+
+def bare_handler(wfile=None) -> _FeedRequestHandler:
+    """A handler instance with no socket behind it (unit-testing _send)."""
+    handler = _FeedRequestHandler.__new__(_FeedRequestHandler)
+    handler.transport = TransportStats()
+    handler.request_version = "HTTP/1.1"
+    handler.requestline = "GET /v1/feed HTTP/1.1"
+    handler.close_connection = False
+    handler.wfile = wfile if wfile is not None else io.BytesIO()
+    return handler
+
+
+class TestHTTPHardening:
+    """Disconnecting and stalling clients are counted, never crashes."""
+
+    def test_send_counts_client_disconnects(self):
+        for error in (BrokenPipeError, ConnectionResetError):
+            handler = bare_handler(_FailingWriter(error))
+            handler._send(200, b'{"ok":true}\n')  # must not raise
+            assert handler.transport.client_disconnects == 1
+            assert handler.close_connection
+
+    def test_send_counts_stalled_timeouts(self):
+        handler = bare_handler(_FailingWriter(TimeoutError))
+        handler._send(200, b'{"ok":true}\n')
+        assert handler.transport.stalled_timeouts == 1
+        assert handler.close_connection
+
+    def test_send_intact_writer_counts_nothing(self):
+        handler = bare_handler()
+        handler._send(200, b'{"ok":true}\n')
+        assert handler.transport.client_disconnects == 0
+        assert handler.transport.stalled_timeouts == 0
+        assert b'{"ok":true}' in handler.wfile.getvalue()
+
+    def test_handle_swallows_late_disconnects(self, monkeypatch):
+        # The stdlib flushes wfile *after* do_GET returns; a disconnect
+        # surfacing there must be demoted to a counter, not a traceback.
+        monkeypatch.setattr(
+            BaseHTTPRequestHandler,
+            "handle",
+            lambda self: (_ for _ in ()).throw(BrokenPipeError()),
+        )
+        handler = bare_handler()
+        handler.handle()
+        assert handler.transport.client_disconnects == 1
+
+    def test_log_error_counts_stdlib_read_timeouts(self):
+        handler = bare_handler()
+        handler.log_error("Request timed out: %r", TimeoutError())
+        assert handler.transport.stalled_timeouts == 1
+        handler.log_error("code 400, message Bad request")
+        assert handler.transport.stalled_timeouts == 1  # only timeouts count
+
+    def test_stats_expose_transport_counters(self):
+        server = FeedServer([snapshot(1, 0.0, "a.com")])
+        with FeedHTTPServer(server) as httpd:
+            with urllib.request.urlopen(f"{httpd.url}/v1/stats") as response:
+                body = json.loads(response.read())
+        assert body["client_disconnects"] == 0
+        assert body["stalled_timeouts"] == 0
+
+    def test_stalled_reader_is_timed_out_and_counted(self):
+        server = FeedServer([snapshot(1, 0.0, "a.com")])
+        httpd = FeedHTTPServer(server, request_timeout=0.2)
+        with httpd:
+            # Connect and go silent: the per-connection socket timeout
+            # must evict us and bump the stall counter.
+            stalled = socket.create_connection(("127.0.0.1", httpd.port))
+            try:
+                deadline = time.monotonic() + 5.0
+                count = 0
+                while time.monotonic() < deadline:
+                    with urllib.request.urlopen(
+                        f"{httpd.url}/v1/stats"
+                    ) as response:
+                        count = json.loads(response.read())["stalled_timeouts"]
+                    if count >= 1:
+                        break
+                    time.sleep(0.05)
+            finally:
+                stalled.close()
+            assert count >= 1
+
+    def test_request_timeout_reaches_the_handler_class(self):
+        server = FeedServer([snapshot(1, 0.0, "a.com")])
+        with FeedHTTPServer(server, request_timeout=7.5) as httpd:
+            assert httpd._httpd.RequestHandlerClass.timeout == 7.5

@@ -232,6 +232,94 @@ class TestParallelResume:
         assert not (directory / "shards").exists()
 
 
+class TestSegmentReaderTornFiles:
+    """A worker killed mid-write leaves a torn segment tail; the parent's
+    reader must simply never surface it as a record."""
+
+    def _write(self, path, *lines, torn=b""):
+        with path.open("wb") as handle:
+            for line in lines:
+                handle.write(line + b"\n")
+            handle.write(torn)
+
+    def test_missing_segment_yields_nothing(self, tmp_path):
+        from repro.store.segments import SegmentReader
+
+        assert SegmentReader(tmp_path / "never-created.jsonl").poll() == []
+
+    def test_torn_tail_never_surfaces(self, tmp_path):
+        from repro.store.segments import SegmentReader
+
+        path = tmp_path / "seg.jsonl"
+        self._write(
+            path,
+            b'{"kind":"batch","position":0}',
+            torn=b'{"kind":"batch","posi',
+        )
+        reader = SegmentReader(path)
+        assert [r["position"] for r in reader.poll()] == [0]
+        assert reader.poll() == []  # the torn tail stays invisible
+
+    def test_completed_tail_surfaces_on_next_poll(self, tmp_path):
+        from repro.store.segments import SegmentReader
+
+        path = tmp_path / "seg.jsonl"
+        self._write(path, b'{"kind":"batch","position":0}', torn=b'{"kind":')
+        reader = SegmentReader(path)
+        assert len(reader.poll()) == 1
+        with path.open("ab") as handle:
+            handle.write(b'"batch","position":1}\n')
+        assert [r["position"] for r in reader.poll()] == [1]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        from repro.errors import StoreError
+        from repro.store.segments import SegmentReader
+
+        path = tmp_path / "seg.jsonl"
+        self._write(path, b'{"kind":"batch"', b'{"kind":"batch","position":1}')
+        with pytest.raises(StoreError, match="corrupt shard segment"):
+            SegmentReader(path).poll()
+
+
+class TestWorkerDeathRespawn:
+    def test_crashed_worker_respawned_with_identical_store(
+        self, tmp_path, monkeypatch
+    ):
+        # A worker that dies with the chaos exit code mid-segment (here: a
+        # raise-mode crash between a record and its newline, so the torn
+        # tail actually hits the segment file) is respawned; the merged
+        # canonical streams must stay byte-identical to an undisturbed run.
+        from repro.chaos import CrashDirective
+        from repro.chaos import points as chaos_points
+
+        def run(directory):
+            pipeline = make_pipeline(3)
+            store = JsonlStore(directory, run_id="respawn")
+            pipeline.run_streaming(store=store, workers=2, with_milking=False)
+            store.close()
+            return {
+                path.name: path.read_bytes()
+                for path in sorted(directory.glob("*.jsonl"))
+            }
+
+        reference = run(tmp_path / "reference")
+
+        token = tmp_path / "token"
+        directive = CrashDirective("segment.emit.mid", occurrence=3, mode="raise")
+        for key, value in directive.to_env(token).items():
+            monkeypatch.setenv(key, value)
+        chaos_points.reset()
+        try:
+            crashed = run(tmp_path / "crashed")
+        finally:
+            monkeypatch.delenv(chaos_points.ENV_POINT)
+            chaos_points.reset()
+
+        assert token.exists(), "the scheduled worker crash never fired"
+        assert crashed == reference
+        assert not (tmp_path / "crashed" / "shards").exists()
+
+
 class TestStreamingRunValidation:
     def test_zero_workers_rejected(self):
         pipeline = make_pipeline(3)

@@ -13,6 +13,8 @@ import json
 import pytest
 
 from repro import SeacmaPipeline, WorldConfig, build_world
+from repro.chaos import CrashDirective, CrashError, CrashPlan, install, reset
+from repro.cli import main
 from repro.core.milking import MilkingConfig
 from repro.errors import StoreError
 from repro.store import JsonlStore, MemoryStore
@@ -103,6 +105,175 @@ class TestTruncate:
         store = JsonlStore(tmp_path / "s")
         store.truncate("nothing", 0)
         assert store.read("nothing") == []
+
+
+class TestAtomicTruncate:
+    """A crash anywhere inside truncate loses nothing already committed."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leftover_plan(self):
+        reset()
+        yield
+        reset()
+
+    def _crash_truncating(self, tmp_path, point):
+        directory = make_store(tmp_path, records=5)
+        store = JsonlStore.open(directory)
+        install(CrashPlan(CrashDirective(point)))
+        try:
+            with pytest.raises(CrashError):
+                store.truncate("events", 2)
+        finally:
+            install(None)
+        store.close()
+        return directory
+
+    def test_crash_before_temp_leaves_stream_untouched(self, tmp_path):
+        directory = self._crash_truncating(tmp_path, "store.truncate.pre")
+        assert not list(directory.glob("*.jsonl.tmp"))
+        store = JsonlStore.open(directory)
+        assert [r["n"] for r in store.read("events")] == [0, 1, 2, 3, 4]
+        assert store.last_recovery.clean
+
+    def test_crash_before_swap_sweeps_temp_keeps_original(self, tmp_path):
+        directory = self._crash_truncating(tmp_path, "store.truncate.mid")
+        assert (directory / "events.jsonl.tmp").exists()
+        store = JsonlStore.open(directory)
+        assert store.last_recovery.stale_temps == ["events.jsonl.tmp"]
+        assert not (directory / "events.jsonl.tmp").exists()
+        # The swap never happened, so the truncate never happened.
+        assert [r["n"] for r in store.read("events")] == [0, 1, 2, 3, 4]
+
+    def test_crash_after_swap_is_a_completed_truncate(self, tmp_path):
+        directory = self._crash_truncating(tmp_path, "store.truncate.post")
+        assert not list(directory.glob("*.jsonl.tmp"))
+        store = JsonlStore.open(directory)
+        assert [r["n"] for r in store.read("events")] == [0, 1]
+        assert store.last_recovery.clean
+
+
+class TestIntentJournal:
+    def _abandoned_intent(self, tmp_path):
+        directory = make_store(tmp_path)
+        store = JsonlStore.open(directory)
+        store.begin_intent("grp")
+        store.append("events", {"n": 77})
+        store.append("newstream", {"fresh": True})
+        store.close()  # crash: the intent is never committed
+        return directory
+
+    def test_uncommitted_intent_rolls_back_on_open(self, tmp_path):
+        directory = self._abandoned_intent(tmp_path)
+        store = JsonlStore.open(directory)
+        recovery = store.last_recovery
+        assert recovery.intent_rolled_back == "grp"
+        assert recovery.records_rolled_back == {"events": 1}
+        assert recovery.streams_removed == ["newstream"]
+        assert [r["n"] for r in store.read("events")] == [0, 1, 2]
+        assert not (directory / "newstream.jsonl").exists()
+        assert not (directory / "intent.log").exists()
+
+    def test_committed_intent_is_never_rolled_back(self, tmp_path):
+        directory = make_store(tmp_path)
+        store = JsonlStore.open(directory)
+        store.begin_intent("grp")
+        store.append("events", {"n": 3})
+        store.commit_intent()
+        store.close()
+        store = JsonlStore.open(directory)
+        assert store.last_recovery.clean
+        assert store.count("events") == 4
+
+    def test_nested_intent_rejected(self, tmp_path):
+        store = JsonlStore(tmp_path / "s", run_id="torn")
+        store.begin_intent("outer")
+        with pytest.raises(StoreError, match="inside an open intent"):
+            store.begin_intent("inner")
+
+    def test_torn_begin_record_is_ignored(self, tmp_path):
+        # A begin line that never finished writing means begin_intent never
+        # returned, so no stream write can have happened under it.
+        directory = make_store(tmp_path)
+        (directory / "intent.log").write_bytes(b'{"op":"begin","label":"t')
+        store = JsonlStore.open(directory)
+        assert store.last_recovery.intent_rolled_back is None
+        assert store.count("events") == 3
+        assert not (directory / "intent.log").exists()
+
+    def test_crash_inside_rollback_is_itself_recoverable(self, tmp_path):
+        # The rollback truncates through the same atomic path; a crash in
+        # the middle of *recovery* must leave the next open able to finish.
+        reset()
+        directory = self._abandoned_intent(tmp_path)
+        install(CrashPlan(CrashDirective("store.truncate.mid")))
+        try:
+            with pytest.raises(CrashError):
+                JsonlStore.open(directory)
+        finally:
+            install(None)
+            reset()
+        assert (directory / "intent.log").exists()  # rollback incomplete
+        store = JsonlStore.open(directory)
+        assert store.last_recovery.intent_rolled_back == "grp"
+        assert [r["n"] for r in store.read("events")] == [0, 1, 2]
+        assert not (directory / "intent.log").exists()
+
+    def test_open_refuses_store_without_identity(self, tmp_path):
+        # Debris of a run that died before run-init committed: meta.jsonl
+        # absent (or identity rolled back) must not be adopted as "run".
+        directory = tmp_path / "debris"
+        directory.mkdir()
+        with pytest.raises(StoreError, match="no run store"):
+            JsonlStore.open(directory)
+        (directory / "meta.jsonl").write_bytes(b'{"key":"run_id","va')
+        with pytest.raises(StoreError, match="no run store"):
+            JsonlStore.open(directory)
+
+
+class TestStoreCheckCLI:
+    def test_clean_store_reports_counts(self, tmp_path, capsys):
+        directory = make_store(tmp_path)
+        assert main(["store", "check", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "'torn'" in out and "clean" in out
+        assert "events" in out and "3 records" in out
+
+    def test_torn_tail_reported_as_repaired(self, tmp_path, capsys):
+        directory = make_store(tmp_path)
+        with (directory / "events.jsonl").open("ab") as handle:
+            handle.write(b'{"n": 99, "pay')
+        assert main(["store", "check", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+        assert "repaired torn tail: events (14 bytes trimmed)" in out
+        # The repair is durable: a second check is clean.
+        assert main(["store", "check", str(directory)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_rolled_back_intent_reported(self, tmp_path, capsys):
+        directory = make_store(tmp_path)
+        store = JsonlStore.open(directory)
+        store.begin_intent("batch:x.example")
+        store.append("events", {"n": 9})
+        store.close()
+        assert main(["store", "check", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "rolled back uncommitted intent 'batch:x.example'" in out
+        assert "events: 1" in out
+
+    def test_interior_corruption_exits_2(self, tmp_path, capsys):
+        directory = make_store(tmp_path)
+        path = directory / "events.jsonl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"broken": \n'
+        path.write_bytes(b"".join(lines))
+        assert main(["store", "check", str(directory)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "corrupt record" in err
+
+    def test_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["store", "check", str(tmp_path / "absent")]) == 2
+        assert "no run store" in capsys.readouterr().err
 
 
 class TestResumeAfterTornBatch:
