@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import resource
 import time
 
 from repro import SeacmaPipeline, WorldConfig, build_world
@@ -54,6 +55,12 @@ def crawl_once(workers: int) -> dict:
     return {
         "workers": workers,
         "wall_seconds": round(wall_seconds, 3),
+        # Parent and worker-children high-water RSS, cumulative across
+        # the worker counts run so far in this process.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "workers_peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_CHILDREN
+        ).ru_maxrss,
         "batches": batches,
         "sessions": dataset.sessions,
         "interactions": len(dataset.interactions),

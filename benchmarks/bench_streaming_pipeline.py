@@ -52,6 +52,10 @@ def measure(mode: str, batch_domains: int = 5) -> dict:
         "mode": mode,
         "wall_seconds": round(wall_seconds, 3),
         "peak_heap_mb": round(peak_bytes / 2**20, 2),
+        # High-water RSS as of the end of this run; cumulative across
+        # modes within the process, so only the first mode's value is a
+        # clean per-mode ceiling.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "interactions": len(result.crawl.interactions),
         "se_campaigns": len(result.discovery.seacma_campaigns),
         "milked_domains": len(result.milking.domains),

@@ -1,0 +1,148 @@
+"""World-scale streaming runs: wall-clock and peak RSS per population.
+
+Runs the full streaming pipeline (crawl + analysis, no milking) against
+lazily materialized worlds of increasing population — 150, 1,000 and
+10,000 publishers by default — and records wall-clock time and the
+process-wide peak RSS for each, in ``results/BENCH_worldscale.json``.
+
+``ru_maxrss`` is a per-process high-water mark that never goes down, so
+each population is measured in its own subprocess (this module re-execs
+itself with ``--child N``); the parent only collects the JSON lines the
+children print.
+
+Override the population ladder with a comma-separated
+``WORLDSCALE_POPULATIONS`` environment variable (the CI smoke job and
+laptop runs use a shorter ladder than the committed full result).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+DEFAULT_POPULATIONS = (150, 1_000, 10_000)
+
+
+def _populations() -> tuple[int, ...]:
+    override = os.environ.get("WORLDSCALE_POPULATIONS")
+    if not override:
+        return DEFAULT_POPULATIONS
+    return tuple(int(part) for part in override.split(",") if part.strip())
+
+
+def _child(n_publishers: int) -> dict:
+    """One streamed lazy run at the given population, self-measured."""
+    from repro import SeacmaPipeline, WorldConfig, build_world
+    from repro.store import JsonlStore
+
+    config = WorldConfig(
+        seed=9,
+        n_publishers=n_publishers,
+        n_campaigns=12,
+        crawl_window_days=1.0,
+        max_code_domains=40,
+        n_advertisers=50,
+    )
+    started = time.perf_counter()
+    world = build_world(config)  # lazy is the default
+    build_seconds = time.perf_counter() - started
+    pipeline = SeacmaPipeline(world)
+    with tempfile.TemporaryDirectory() as scratch:
+        result = pipeline.run_streaming(
+            store=JsonlStore(pathlib.Path(scratch) / "store"),
+            with_milking=False,
+            batch_domains=25,
+        )
+        wall_seconds = time.perf_counter() - started
+    stats = world.publisher_directory.stats
+    return {
+        "publishers": n_publishers,
+        "population": n_publishers + config.resolved_new_publishers,
+        "lazy": world.lazy,
+        "build_seconds": round(build_seconds, 3),
+        "wall_seconds": round(wall_seconds, 3),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "sessions": result.crawl.sessions,
+        "interactions": len(result.crawl.interactions),
+        "se_campaigns": len(result.discovery.seacma_campaigns),
+        "materialization": stats.as_dict(),
+    }
+
+
+def _measure_in_subprocess(n_publishers: int) -> dict:
+    env = dict(os.environ)
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (str(src), env.get("PYTHONPATH")) if part
+    )
+    proc = subprocess.run(
+        [sys.executable, __file__, "--child", str(n_publishers)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"worldscale child ({n_publishers} publishers) failed:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def test_world_scale(save_artifact):
+    runs = [_measure_in_subprocess(n) for n in _populations()]
+    for run in runs:
+        assert run["interactions"] > 0
+        # Every population must stay within the lazy page-cache regime:
+        # distinct pages touched may equal the population, but the
+        # process must not retain them all (the bounded-memory bar).
+        assert run["materialization"]["distinct_publishers"] >= run["publishers"]
+    largest = runs[-1]
+    payload = {
+        "benchmark": "worldscale",
+        "mode": "streaming, lazy world, no milking",
+        "runs": runs,
+        "largest_population": largest["population"],
+        "largest_peak_rss_mb": round(largest["peak_rss_kb"] / 1024, 1),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_worldscale.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_artifact(
+        "worldscale",
+        "\n".join(
+            f"{run['population']:>6} publishers: {run['wall_seconds']:7.2f}s wall, "
+            f"{run['peak_rss_kb'] / 1024:7.1f} MiB peak RSS, "
+            f"{run['interactions']} ads"
+            for run in runs
+        ),
+    )
+    if len(runs) >= 2:
+        # Bounded memory at scale: RSS must grow far slower than the
+        # population.  Eager growth is roughly linear (~25 KB/publisher);
+        # the lazy world's page cache caps the resident page set, so a
+        # 10x population may cost at most ~3x the memory.
+        first, last = runs[0], runs[-1]
+        population_ratio = last["population"] / first["population"]
+        rss_ratio = last["peak_rss_kb"] / first["peak_rss_kb"]
+        assert rss_ratio < max(3.0, population_ratio / 3), (
+            f"peak RSS grew {rss_ratio:.1f}x over a {population_ratio:.0f}x "
+            "population increase — the lazy world is not bounding memory"
+        )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        print(json.dumps(_child(int(sys.argv[2]))))
+    else:  # pragma: no cover - convenience entry
+        raise SystemExit("run via pytest, or with --child N")

@@ -31,6 +31,7 @@ from repro.chaos.points import (
     CRASH_POINTS,
     PARALLEL_ONLY_POINTS,
     RECOVERY_ONLY_POINTS,
+    WORLD_POINTS,
     CrashError,
     active_plan,
     crash_point,
@@ -45,6 +46,7 @@ __all__ = [
     "MODES",
     "PARALLEL_ONLY_POINTS",
     "RECOVERY_ONLY_POINTS",
+    "WORLD_POINTS",
     "ChaosReport",
     "ChaosRunner",
     "CrashDirective",

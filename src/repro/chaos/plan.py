@@ -44,6 +44,9 @@ _OCCURRENCE_POOLS: dict[str, tuple[int, ...]] = {
     "checkpoint.persist": (1, 5, 40),
     "feed.publish": (1, 3, 9),
     "parallel.merge": (1,),
+    # A tiny lazy run's reversal pass alone materializes every publisher
+    # (~130 builds), so these depths always fire before the crawl starts.
+    "world.materialize": (1, 15, 75),
 }
 
 

@@ -63,9 +63,19 @@ SEGMENT_POINTS = (
 PIPELINE_POINTS = ("checkpoint.persist",)
 FEED_POINTS = ("feed.publish.pre", "feed.publish.post")
 MERGE_POINTS = ("parallel.merge.pre", "parallel.merge.post")
+#: The lazy-world materialization path: ``pre`` dies before a page is
+#: derived, ``post`` after it entered the bounded cache.  Reached by any
+#: lazy run (reversal materializes every publisher), including inside
+#: shard workers.
+WORLD_POINTS = ("world.materialize.pre", "world.materialize.post")
 
 CRASH_POINTS = (
-    STORE_POINTS + SEGMENT_POINTS + PIPELINE_POINTS + FEED_POINTS + MERGE_POINTS
+    STORE_POINTS
+    + SEGMENT_POINTS
+    + PIPELINE_POINTS
+    + FEED_POINTS
+    + MERGE_POINTS
+    + WORLD_POINTS
 )
 
 #: Points that only execute inside shard worker processes / the parallel

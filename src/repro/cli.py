@@ -8,12 +8,13 @@ Subcommands::
 
     seacma run       --preset tiny --seed 7 --days 2 [--fault-rate P]
                      [--no-retries] [--no-milking] [--out DIR]
+                     [--no-lazy-world]
                      [--stream --store-dir DIR [--batch-domains N]
                       [--workers K] [--fsync]]
                      [--trace-dir DIR] [--metrics]
     seacma resume    STORE_DIR --days 2 [--no-milking]
                      [--batch-domains N] [--workers K] [--fsync]
-                     [--trace-dir DIR] [--metrics]
+                     [--no-lazy-world] [--trace-dir DIR] [--metrics]
     seacma tables    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma feeds     --preset tiny --seed 7 --days 2
     seacma report    --preset tiny --seed 7 --days 2 [--from-store DIR]
@@ -23,7 +24,7 @@ Subcommands::
     seacma feed      pull  STORE_DIR [--since N] [--json]
     seacma feed      lag   STORE_DIR [--cohorts N] [--clients-per-cohort N]
                      [--poll-minutes F] [--fault-rate P] [--fleet-seed N]
-    seacma selfcheck --preset small
+    seacma selfcheck --preset small [--no-lazy-world]
 
 ``run --stream`` persists the run into a store directory as it goes;
 ``resume`` continues a run whose process died mid-crawl; ``tables`` and
@@ -40,6 +41,13 @@ off by default).  ``store check`` validates a run store end to end —
 repairing torn tails, rolling back uncommitted write intents, and
 printing per-stream record counts — and exits non-zero on corruption
 that crash recovery cannot explain.
+
+Worlds are built lazily by default (``--lazy-world``): publisher pages
+are derived on demand into a bounded cache, so populations of 10k+
+publishers run in bounded memory with byte-identical outputs.
+``--no-lazy-world`` forces the old eager construction, which
+materializes every site up front and refuses populations beyond the
+eager limit.
 
 The ``feed`` group works against the versioned blocklist a streamed,
 milking-enabled run published into its store: ``feed serve`` mounts it
@@ -94,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
         command.add_argument("--seed", type=int, default=7)
         command.add_argument("--days", type=float, default=2.0, help="milking days")
+        _add_lazy_world_argument(command)
         if name != "selfcheck":
             command.add_argument(
                 "--fault-rate",
@@ -162,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync every store write while resuming",
     )
+    _add_lazy_world_argument(resume)
     _add_telemetry_arguments(resume)
     store = sub.add_parser(
         "store", help="inspect and repair durable run stores"
@@ -230,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_lazy_world_argument(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--lazy-world",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="materialize publisher pages on demand into a bounded cache "
+        "(the default; outputs are byte-identical to the eager world, "
+        "which --no-lazy-world forces)",
+    )
+
+
 def _add_telemetry_arguments(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--trace-dir",
@@ -251,7 +272,7 @@ def _run_pipeline(args):
     fault_rate = getattr(args, "fault_rate", 0.0)
     if fault_rate:
         config = dataclasses.replace(config, fault_rate=fault_rate)
-    world = build_world(config)
+    world = build_world(config, lazy=args.lazy_world)
     pipeline = SeacmaPipeline(
         world,
         milking_config=_milking_config(args),
@@ -325,7 +346,7 @@ def _resume(args) -> int:
     from repro.store.persist import load_world
 
     store = JsonlStore.open(args.store_dir, fsync=args.fsync)
-    world = load_world(store)
+    world = load_world(store, lazy=args.lazy_world)
     pipeline = SeacmaPipeline(world, milking_config=_milking_config(args))
     telemetry = _activate_telemetry(args, world)
     try:
@@ -349,12 +370,12 @@ def _resume(args) -> int:
     return 0
 
 
-def _load_stored(path):
+def _load_stored(path, lazy: bool | None = None):
     from repro.store import JsonlStore
     from repro.store.persist import load_result, load_world
 
     store = JsonlStore.open(path)
-    return load_world(store), load_result(store)
+    return load_world(store, lazy=lazy), load_result(store)
 
 
 def _print_tables(world, result, out=print) -> None:
@@ -541,7 +562,9 @@ def _dispatch(args) -> int:
         print(render_summary(summarize_trace(args.trace_dir)))
         return 0
     if args.command == "selfcheck":
-        world = build_world(_PRESETS[args.preset](seed=args.seed))
+        world = build_world(
+            _PRESETS[args.preset](seed=args.seed), lazy=args.lazy_world
+        )
         issues = world.self_check()
         if issues:
             for issue in issues:
@@ -554,7 +577,7 @@ def _dispatch(args) -> int:
         return 0
     telemetry = None
     if getattr(args, "from_store", None) is not None:
-        world, result = _load_stored(args.from_store)
+        world, result = _load_stored(args.from_store, lazy=args.lazy_world)
     else:
         world, result, telemetry = _run_pipeline(args)
     if args.command == "tables":

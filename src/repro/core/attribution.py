@@ -155,10 +155,17 @@ def expand_publisher_list(
     publicwww: PublicWWW,
     already_known: set[str],
 ) -> list[str]:
-    """Reverse newly discovered networks into additional publishers."""
+    """Reverse newly discovered networks into additional publishers.
+
+    One batch query for all newly discovered tokens: a lazy world
+    re-derives each publisher source once for the whole expansion.
+    """
+    if not new_patterns:
+        return []
     found: set[str] = set()
-    for pattern in new_patterns:
-        for hit in publicwww.search(pattern.token):
+    hits = publicwww.search_many([pattern.token for pattern in new_patterns])
+    for results in hits.values():
+        for hit in results:
             if hit.domain not in already_known:
                 found.add(hit.domain)
     return sorted(found)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.browser.useragent import PROFILES, UserAgentProfile
 from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
@@ -190,27 +190,34 @@ class CrawlerFarm:
         #: in to resume after a crash.
         self.checkpoint: CrawlCheckpoint | None = None
 
-    def split_publisher_groups(self, domains: list[str]) -> tuple[list[str], list[str]]:
+    def split_publisher_groups(
+        self, domains: Iterable[str]
+    ) -> tuple[list[str], list[str]]:
         """Split crawl targets into (institutional, residential) groups.
 
         Sites embedding Propeller or Clickadu go to the residential group
-        — their networks cloak on non-residential IP space.
+        — their networks cloak on non-residential IP space.  Answered
+        from the directory's record table (network keys only), so
+        planning a crawl never materializes a publisher page.
         """
+        directory = self.world.publisher_directory
         institutional: list[str] = []
         residential: list[str] = []
         for domain in domains:
             try:
-                site = self.world.publisher_directory.get(domain)
+                keys = directory.network_keys_of(domain)
             except KeyError:
                 institutional.append(domain)
                 continue
-            if site.uses_network("propeller") or site.uses_network("clickadu"):
+            if "propeller" in keys or "clickadu" in keys:
                 residential.append(domain)
             else:
                 institutional.append(domain)
         return institutional, residential
 
-    def plan_crawl(self, publisher_domains: list[str], started_at: float) -> CrawlPlan:
+    def plan_crawl(
+        self, publisher_domains: Iterable[str], started_at: float
+    ) -> CrawlPlan:
         """Lay out the canonical crawl schedule for ``publisher_domains``.
 
         §4.1: the residential laptops only got through a fraction of

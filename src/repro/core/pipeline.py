@@ -92,9 +92,33 @@ from repro.store.records import (
     progress_to_record,
     world_config_to_meta,
 )
-from repro.telemetry import current as current_telemetry
+from repro.telemetry import SHARD_LANE, current as current_telemetry
 
 logger = logging.getLogger(__name__)
+
+
+def record_world_stats(world: World) -> None:
+    """Ship the world's page-materialization counters to telemetry.
+
+    The distinct-publisher count is worker-invariant — the parent's
+    reversal pass derives every publisher page whatever ``--workers``
+    is — so it is safe as a canonical gauge.  Cache hits, misses and
+    evictions depend on which process served which page, so they ride an
+    operational shard-lane span and stay out of the byte-compared
+    metrics registry.
+    """
+    telemetry = current_telemetry()
+    stats = world.publisher_directory.stats
+    telemetry.set_gauge("world.materialized_publishers", stats.distinct_count)
+    if telemetry.enabled:
+        now = world.clock.now()
+        telemetry.complete_span(
+            "world.materialize",
+            sim_start=now,
+            sim_end=now,
+            attrs={"lazy": world.lazy, **stats.as_dict()},
+            lane=SHARD_LANE,
+        )
 
 
 @dataclass
@@ -298,6 +322,7 @@ class SeacmaPipeline:
             telemetry.set_gauge(
                 "discovery.campaigns", len(result.discovery.campaigns)
             )
+            record_world_stats(self.world)
         return result
 
     # ---------------------------------------------------------- streaming
@@ -651,6 +676,7 @@ class StreamingRun:
         telemetry.set_gauge(
             "discovery.campaigns", len(result.discovery.campaigns)
         )
+        record_world_stats(pipeline.world)
         store.put_meta("finished_at", pipeline.world.clock.now())
         store.put_meta("status", "finished")
         store.commit_intent()

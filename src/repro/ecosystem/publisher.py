@@ -5,6 +5,15 @@ games, blogs, ...) that embed one or more low-tier ad-network snippets
 for revenue.  "Greedy" publishers stack several networks on the same
 page, which is why repeated clicks at the same spot yield ads from
 different networks (§3.2).
+
+The :class:`PublisherDirectory` answers every publisher query from a
+compact :class:`~repro.ecosystem.materialize.SiteRecord` table.  In
+eager mode it also retains the full :class:`PublisherSite` objects (and
+their built pages) the way the original builder did; in lazy mode sites
+are transient views materialized on access and pages live in a bounded
+LRU (:class:`~repro.ecosystem.materialize.PageCache`) — both modes
+serve byte-identical pages because page derivation is a pure function
+of ``(seed, domain)``.
 """
 
 from __future__ import annotations
@@ -16,6 +25,12 @@ from repro.adnet.serving import AdNetworkServer
 from repro.adnet.snippets import AdTactic, build_snippet, choose_tactic
 from repro.dom.nodes import div, iframe, img
 from repro.dom.page import PageContent, VisualSpec
+from repro.ecosystem.materialize import (
+    DEFAULT_PAGE_CACHE_SIZE,
+    MaterializationStats,
+    PageCache,
+    SiteRecord,
+)
 from repro.net.http import HttpRequest, HttpResponse, html_response, not_found
 from repro.net.server import FetchContext, VirtualServer
 from repro.rng import derive, rng_for
@@ -30,7 +45,7 @@ class PublisherSite:
     category: str
     #: The networks whose snippets the page embeds, in snippet order.
     networks: list[AdNetworkServer] = field(default_factory=list)
-    _page: PageContent | None = field(default=None, repr=False)
+    _page: PageContent | None = field(default=None, repr=False, compare=False)
 
     @property
     def url(self) -> str:
@@ -48,15 +63,31 @@ class PublisherSite:
     def page(self, seed: int) -> PageContent:
         """Build (once) and return the publisher's front page."""
         if self._page is None:
-            self._page = _build_publisher_page(self, seed)
+            self._page = derive_publisher_page(self, seed)
         return self._page
 
     def page_source(self, seed: int) -> str:
         """The page source PublicWWW indexes."""
         return self.page(seed).source_text()
 
+    def record(self) -> SiteRecord:
+        """The site's compact skeleton record."""
+        return SiteRecord(
+            domain=self.domain,
+            rank=self.rank,
+            category=self.category,
+            network_keys=tuple(server.spec.key for server in self.networks),
+        )
 
-def _build_publisher_page(site: PublisherSite, seed: int) -> PageContent:
+
+def derive_publisher_page(site: PublisherSite, seed: int) -> PageContent:
+    """Derive a publisher's front page — a pure function of ``(seed, domain)``.
+
+    Every RNG stream consumed here is labeled by the site's domain (and,
+    per snippet, the network key), so the derived page is identical no
+    matter when, where, or how many times it is built — the property the
+    lazy world's cache eviction relies on.
+    """
     rng: random.Random = rng_for(seed, "publisher-page", site.domain)
     root = div(width=1280, height=800, attrs={"id": "content"})
     # Native content: a few images/iframes of varying prominence.
@@ -88,28 +119,120 @@ def _build_publisher_page(site: PublisherSite, seed: int) -> PageContent:
 
 
 class PublisherDirectory(VirtualServer):
-    """Serves every publisher site from one virtual server."""
+    """Serves every publisher site from one virtual server.
 
-    def __init__(self, seed: int) -> None:
+    Always keeps the record table; whether it *also* keeps materialized
+    sites is the eager/lazy split: :meth:`add` registers a resident site
+    (eager), :meth:`add_record` registers only the skeleton (lazy) and
+    needs ``network_servers`` to rebuild site views on demand.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        network_servers: dict[str, AdNetworkServer] | None = None,
+        page_cache_size: int = DEFAULT_PAGE_CACHE_SIZE,
+    ) -> None:
         self._seed = seed
+        self._network_servers = network_servers if network_servers is not None else {}
+        self._records: dict[str, SiteRecord] = {}
         self._sites: dict[str, PublisherSite] = {}
+        self.stats = MaterializationStats()
+        self._cache = PageCache(page_cache_size, stats=self.stats, chaos=True)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._records
 
     def add(self, site: PublisherSite) -> None:
-        """Register a publisher site."""
-        if site.domain in self._sites:
+        """Register a resident (eager) publisher site."""
+        if site.domain in self._records:
             raise ValueError(f"duplicate publisher {site.domain}")
+        self._records[site.domain] = site.record()
         self._sites[site.domain] = site
 
+    def add_record(self, record: SiteRecord) -> None:
+        """Register a publisher skeleton only (lazy mode)."""
+        if record.domain in self._records:
+            raise ValueError(f"duplicate publisher {record.domain}")
+        self._records[record.domain] = record
+
+    def record(self, domain: str) -> SiteRecord:
+        """The skeleton record of a registered domain."""
+        return self._records[domain]
+
+    def rank_of(self, domain: str) -> int:
+        """A registered domain's popularity rank (no materialization)."""
+        return self._records[domain].rank
+
+    def network_keys_of(self, domain: str) -> tuple[str, ...]:
+        """A registered domain's embedded network keys (no materialization)."""
+        return self._records[domain].network_keys
+
+    def domains(self) -> tuple[str, ...]:
+        """All registered domains, in insertion order."""
+        return tuple(self._records)
+
     def get(self, domain: str) -> PublisherSite:
-        """Look up a site by domain."""
-        return self._sites[domain]
+        """Look up a site by domain.
+
+        Eager-registered domains return the resident site; lazy ones a
+        transient view rebuilt from the record (equal by value, never
+        retained by the directory).
+        """
+        site = self._sites.get(domain)
+        if site is not None:
+            return site
+        return self._site_view(self._records[domain])
 
     def sites(self) -> list[PublisherSite]:
-        """All sites, in insertion order."""
-        return list(self._sites.values())
+        """All sites, in insertion order (materializes lazy entries)."""
+        return [self.get(domain) for domain in self._records]
+
+    def iter_sites(self):
+        """Iterate sites in insertion order without building a list."""
+        for domain in self._records:
+            yield self.get(domain)
+
+    def page_of(self, domain: str) -> PageContent:
+        """The domain's front page, via the mode-appropriate cache."""
+        site = self._sites.get(domain)
+        if site is not None:
+            built = site._page is None
+            page = site.page(self._seed)
+            if built:
+                self.stats.pages_built += 1
+                self.stats.cache_misses += 1
+                self.stats.distinct.add(domain)
+            else:
+                self.stats.cache_hits += 1
+            return page
+        record = self._records[domain]
+        return self._cache.get(
+            domain, lambda: derive_publisher_page(self._site_view(record), self._seed)
+        )
+
+    def source_of(self, domain: str) -> str:
+        """The domain's page source (what PublicWWW indexes)."""
+        return self.page_of(domain).source_text()
+
+    def _site_view(self, record: SiteRecord) -> PublisherSite:
+        missing = [key for key in record.network_keys if key not in self._network_servers]
+        if missing:
+            raise KeyError(
+                f"publisher {record.domain} references unknown ad networks "
+                f"{missing}; pass network_servers= to PublisherDirectory"
+            )
+        return PublisherSite(
+            domain=record.domain,
+            rank=record.rank,
+            category=record.category,
+            networks=[self._network_servers[key] for key in record.network_keys],
+        )
 
     def handle(self, request: HttpRequest, context: FetchContext) -> HttpResponse:
-        site = self._sites.get(request.url.host)
-        if site is None:
+        if request.url.host not in self._records:
             return not_found()
-        return html_response(site.page(self._seed))
+        return html_response(self.page_of(request.url.host))

@@ -11,13 +11,23 @@ Scaling: the paper's magnitudes (93,427 publishers, 108 campaigns) are
 the ``paper_scale`` preset; smaller presets preserve the *ratios* that
 the reproduced tables depend on (per-network SE rates, category shares,
 domain churn per crawl window) while shrinking population sizes.
+
+Materialization: ``build_world(config, lazy=True)`` — the default —
+runs the identical cheap skeleton pass (publisher domains, ranks,
+categories, network assignments, DNS registrations) but materializes
+pages on demand through the directory's bounded cache instead of
+retaining every :class:`PublisherSite` for the life of the run; see
+``DESIGN.md`` ("World materialization").  Eager construction is capped
+at :data:`EAGER_PUBLISHER_LIMIT` publishers and fails fast with a
+:class:`~repro.errors.WorldConfigError` beyond it — ``paper_scale``
+worlds only build lazily.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator, Sequence
 
 from repro.adnet.serving import AdNetworkServer
 from repro.adnet.spec import DISCOVERABLE_NETWORK_SPECS, SEED_NETWORK_SPECS
@@ -31,6 +41,7 @@ from repro.clock import DAY, SimClock
 from repro.ecosystem.adblock import FilterList, build_filter_list
 from repro.ecosystem.benign import BenignWeb
 from repro.ecosystem.gsb import GoogleSafeBrowsing
+from repro.ecosystem.materialize import SiteRecord, SiteSequence
 from repro.ecosystem.publicwww import PublicWWW
 from repro.ecosystem.publisher import PublisherDirectory, PublisherSite
 from repro.ecosystem.virustotal import VirusTotal
@@ -145,11 +156,23 @@ class WorldConfig:
         return cls(**settings)
 
 
+#: Largest population :func:`build_world` will construct eagerly.  Eager
+#: worlds retain every site (and every touched page) for the life of the
+#: run — past this bound that is an OOM in waiting, so construction
+#: fails fast and points at the lazy path instead.
+EAGER_PUBLISHER_LIMIT = 20_000
+
+
 class World:
     """The built ecosystem: everything the pipeline can touch."""
 
-    def __init__(self, config: WorldConfig) -> None:
+    def __init__(self, config: WorldConfig, lazy: bool = False) -> None:
         self.config = config
+        #: Whether publisher pages materialize on demand (bounded cache)
+        #: or sites are retained eagerly.  Not part of ``WorldConfig`` —
+        #: it changes memory behavior, never a single output byte, so
+        #: store metadata stays identical across modes.
+        self.lazy = lazy
         self.clock = SimClock()
         fault_plan = None
         if config.fault_rate > 0.0:
@@ -170,9 +193,14 @@ class World:
         self.discoverable_networks: list[AdNetworkServer] = []
         self.campaigns: list[Campaign] = []
         self.campaign_servers: dict[str, CampaignServer] = {}
-        self.publisher_directory = PublisherDirectory(config.seed)
-        self.publishers: list[PublisherSite] = []
-        self.new_publishers: list[PublisherSite] = []
+        # The directory shares the live ``networks`` dict: servers are
+        # registered into it before publishers exist, so lazy site views
+        # can always resolve their network keys.
+        self.publisher_directory = PublisherDirectory(
+            config.seed, network_servers=self.networks
+        )
+        self.publishers: Sequence[PublisherSite] = []
+        self.new_publishers: Sequence[PublisherSite] = []
         self.webpulse = WebPulse()
         self.gsb = GoogleSafeBrowsing(config.seed)
         self.virustotal = VirusTotal(config.seed)
@@ -211,11 +239,9 @@ class World:
         for network in self.networks.values():
             if host in network.code_domains:
                 return "adnet"
-        try:
-            self.publisher_directory.get(host)
-        except KeyError:
-            return "unknown"
-        return "publisher"
+        if host in self.publisher_directory:
+            return "publisher"
+        return "unknown"
 
     def campaigns_by_category(self) -> dict[AttackCategory, list[Campaign]]:
         """Campaigns grouped by attack category."""
@@ -265,10 +291,30 @@ class World:
         return issues
 
 
-def build_world(config: WorldConfig | None = None) -> World:
-    """Build the full deterministic ecosystem."""
+def build_world(
+    config: WorldConfig | None = None, *, lazy: bool | None = None
+) -> World:
+    """Build the full deterministic ecosystem.
+
+    ``lazy`` selects on-demand page materialization (the default): the
+    world's outputs are byte-identical either way — only memory behavior
+    differs — and eager construction refuses populations beyond
+    :data:`EAGER_PUBLISHER_LIMIT` rather than OOMing late.
+    """
     config = config if config is not None else WorldConfig()
-    world = World(config)
+    if lazy is None:
+        lazy = True
+    population = config.n_publishers + config.resolved_new_publishers
+    if not lazy and population > EAGER_PUBLISHER_LIMIT:
+        raise WorldConfigError(
+            f"{population} publishers exceed the eager-construction limit "
+            f"of {EAGER_PUBLISHER_LIMIT}: an eager world retains every "
+            "site and page in memory for the whole run.  Build this "
+            "population lazily instead — the default build_world(config) "
+            "/ build_world(config, lazy=True), or drop --no-lazy-world "
+            "on the CLI."
+        )
+    world = World(config, lazy=lazy)
     _build_benign(world)
     _build_networks(world)
     _build_campaigns(world)
@@ -403,7 +449,18 @@ def _assign_campaigns_to_networks(world: World) -> None:
             server.add_campaign(campaign, weight=campaign.serving_weight)
 
 
-def _build_publishers(world: World) -> None:
+def _publisher_skeletons(world: World) -> Iterator[tuple[SiteRecord, bool]]:
+    """The sequential publisher-generation pass, as a record stream.
+
+    Yields ``(record, is_new)`` per publisher.  This pass is *shared* by
+    eager and lazy construction and must stay sequential: every draw
+    consumes the one ``(seed, "publishers")`` RNG stream, and domain
+    uniqueness is enforced against the live DNS registry, so the Nth
+    publisher's identity depends on all N-1 before it.  It is also cheap
+    — a record, a DNS entry and a WebPulse category per site — which is
+    what keeps lazy construction byte-identical to eager at any
+    population size: only the heavy page artifacts differ in lifetime.
+    """
     config = world.config
     rng: random.Random = rng_for(config.seed, "publishers")
     generator = DomainGenerator(config.seed, "publishers")
@@ -422,16 +479,20 @@ def _build_publishers(world: World) -> None:
             if not world.internet.dns.is_registered(domain):
                 return domain
 
-    def make_site(domain: str, networks: list[AdNetworkServer]) -> PublisherSite:
+    def make_record(domain: str, networks: list[AdNetworkServer]) -> SiteRecord:
         category = sample_category(rng)
         # Heavy-tailed popularity: a handful of popular sites (§4.3 found
         # 4 publishers in the top 1k and 52 in the top 10k).
         rank = int(10 ** rng.uniform(2.0, 6.7))
-        site = PublisherSite(domain=domain, rank=rank, category=category, networks=networks)
-        world.publisher_directory.add(site)
+        record = SiteRecord(
+            domain=domain,
+            rank=rank,
+            category=category,
+            network_keys=tuple(server.spec.key for server in networks),
+        )
         world.internet.register(domain, world.publisher_directory)
         world.webpulse.learn(domain, category)
-        return site
+        return record
 
     discoverable = world.discoverable_networks
     for _ in range(config.n_publishers):
@@ -445,7 +506,7 @@ def _build_publishers(world: World) -> None:
         # the source of the "Unknown" attributions of Table 3.
         if discoverable and rng.random() < 0.15:
             networks.append(rng.choice(discoverable))
-        world.publishers.append(make_site(fresh_domain(), networks))
+        yield make_record(fresh_domain(), networks), False
 
     discoverable_weights = [server.spec.volume_weight for server in discoverable]
     for _ in range(config.resolved_new_publishers):
@@ -455,4 +516,30 @@ def _build_publishers(world: World) -> None:
             server = weighted_choice(rng, discoverable, discoverable_weights)
             if server not in networks:
                 networks.append(server)
-        world.new_publishers.append(make_site(fresh_domain(), networks))
+        yield make_record(fresh_domain(), networks), True
+
+
+def _build_publishers(world: World) -> None:
+    directory = world.publisher_directory
+    if world.lazy:
+        regular: list[str] = []
+        fresh: list[str] = []
+        for record, is_new in _publisher_skeletons(world):
+            directory.add_record(record)
+            (fresh if is_new else regular).append(record.domain)
+        world.publishers = SiteSequence(directory, tuple(regular))
+        world.new_publishers = SiteSequence(directory, tuple(fresh))
+    else:
+        publishers: list[PublisherSite] = []
+        new_publishers: list[PublisherSite] = []
+        for record, is_new in _publisher_skeletons(world):
+            site = PublisherSite(
+                domain=record.domain,
+                rank=record.rank,
+                category=record.category,
+                networks=[world.networks[key] for key in record.network_keys],
+            )
+            directory.add(site)
+            (new_publishers if is_new else publishers).append(site)
+        world.publishers = publishers
+        world.new_publishers = new_publishers
