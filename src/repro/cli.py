@@ -21,6 +21,8 @@ Subcommands::
     seacma trace     summarize TRACE_DIR
     seacma store     check STORE_DIR
     seacma feed      serve STORE_DIR [--host H] [--port N]
+                     [--engine asyncio|stdlib] [--serve-workers N]
+                     [--checkpoint-interval K]
     seacma feed      pull  STORE_DIR [--since N] [--json]
     seacma feed      lag   STORE_DIR [--cohorts N] [--clients-per-cohort N]
                      [--poll-minutes F] [--fault-rate P] [--fleet-seed N]
@@ -51,11 +53,17 @@ eager limit.
 
 The ``feed`` group works against the versioned blocklist a streamed,
 milking-enabled run published into its store: ``feed serve`` mounts it
-behind an HTTP API, ``feed pull`` performs one snapshot/delta poll
-in-process (``--since`` gives the client's current version, ``--json``
-dumps the raw payload), and ``feed lag`` replays a simulated client
-fleet against the publication timeline and prints the protection-lag
-table comparing the feed to the simulated Safe Browsing blacklist.
+behind an HTTP API — by default the precomputed-payload asyncio engine
+(``--engine asyncio``, optionally replicated across ``--serve-workers``
+SO_REUSEPORT processes; ``--engine stdlib`` selects the threaded
+reference server), with delta-chain compaction tuned by
+``--checkpoint-interval`` — ``feed pull`` performs one snapshot/delta
+poll in-process (``--since`` gives the client's current version,
+``--json`` dumps the raw payload), and ``feed lag`` replays a simulated
+client fleet against the publication timeline and prints the
+protection-lag table (with p50/p95/p99 lag and serving-latency
+percentiles) comparing the feed to the simulated Safe Browsing
+blacklist.
 """
 
 from __future__ import annotations
@@ -201,6 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8337, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("asyncio", "stdlib"),
+        default="asyncio",
+        help="serving engine: the precomputed-payload asyncio front-end "
+        "(default) or the threaded stdlib reference server",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        help="SO_REUSEPORT worker replicas for the asyncio engine "
+        "(this process plus N-1 forked workers on the same port)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="delta-chain compaction spacing in versions (default 8): "
+        "clients further behind than this are caught up via checkpoint "
+        "deltas instead of one near-full-size delta",
     )
     pull = feed_sub.add_parser(
         "pull", help="perform one feed poll against the stored history"
@@ -439,15 +469,41 @@ def _feed(args) -> int:
     from repro.store import JsonlStore
 
     store = JsonlStore.open(args.store_dir)
-    server = FeedServer.from_store(store)
+    checkpoint_interval = getattr(args, "checkpoint_interval", None)
+    if checkpoint_interval is not None and checkpoint_interval < 1:
+        raise ConfigError("--checkpoint-interval must be at least 1")
+    from repro.feed.payloads import CHECKPOINT_INTERVAL
+
+    server = FeedServer.from_store(
+        store,
+        checkpoint_interval=(
+            checkpoint_interval if checkpoint_interval is not None
+            else CHECKPOINT_INTERVAL
+        ),
+    )
     latest = server.latest
     if args.feed_command == "serve":
-        from repro.feed.http import FeedHTTPServer
+        if args.serve_workers < 1:
+            raise ConfigError("--serve-workers must be at least 1")
+        if args.engine == "asyncio":
+            from repro.feed.asyncserve import AsyncFeedHTTPServer
 
-        httpd = FeedHTTPServer(server, host=args.host, port=args.port)
+            httpd = AsyncFeedHTTPServer(
+                server, host=args.host, port=args.port, workers=args.serve_workers
+            )
+            engine_note = f"asyncio, {args.serve_workers} replica(s)"
+        else:
+            if args.serve_workers != 1:
+                raise ConfigError(
+                    "--serve-workers applies to the asyncio engine only"
+                )
+            from repro.feed.http import FeedHTTPServer
+
+            httpd = FeedHTTPServer(server, host=args.host, port=args.port)
+            engine_note = "stdlib reference"
         print(
             f"serving feed v{latest.version} ({len(latest)} entries) "
-            f"at {httpd.url}/v1/feed"
+            f"at {httpd.url}/v1/feed [{engine_note}]"
         )
         try:
             httpd.serve_forever()
@@ -499,6 +555,21 @@ def _feed(args) -> int:
     )
     print("")
     print(reports.render_table(lag_table(report), "PROTECTION LAG"))
+    lag_pct = report.lag_percentiles()
+    if lag_pct["count"]:
+        print(
+            f"\nprotection lag percentiles (min, {lag_pct['count']} "
+            f"cohort-domain samples): "
+            f"p50={lag_pct['p50']:.1f} p95={lag_pct['p95']:.1f} "
+            f"p99={lag_pct['p99']:.1f} max={lag_pct['max']:.1f}"
+        )
+    latency = report.latency_percentiles()
+    if latency["count"]:
+        print(
+            f"serving latency percentiles (ms, wall): "
+            f"p50={latency['p50']:.3f} p95={latency['p95']:.3f} "
+            f"p99={latency['p99']:.3f}"
+        )
     head_start = report.mean_head_start_days()
     if head_start is not None:
         print(

@@ -10,26 +10,38 @@ Browsing Update API shape:
   delta records (the wire format);
 * :mod:`repro.feed.publisher` — a milking observer that cuts versioned
   snapshots as domains are discovered;
+* :mod:`repro.feed.payloads` — render-once immutable payloads: every
+  snapshot's canonical bytes rendered exactly once, gzip at publish
+  time, and the delta chain compacted over checkpoint versions so deep
+  catch-ups stay small;
 * :mod:`repro.feed.server` — full/delta/not-modified request handling
-  with conditional-request short-circuiting and an LRU delta cache;
+  with conditional-request short-circuiting over the precomputed
+  payload store (plus an LRU delta cache for time-scoped replays);
 * :mod:`repro.feed.fleet` — a seeded, cohort-aggregated client fleet
   (sim-clock driven, scalable to ~10⁶ modeled clients) measuring
   protection lag versus the simulated GSB blacklist;
-* :mod:`repro.feed.http` — a stdlib HTTP front-end for real clients.
+* :mod:`repro.feed.http` — the stdlib HTTP reference front-end;
+* :mod:`repro.feed.asyncserve` — the production asyncio front-end:
+  precomputed wire responses, pipelined keep-alive serving, and
+  ``SO_REUSEPORT`` worker replicas proven byte-identical to the
+  reference server.
 
 Determinism contract: snapshots and deltas are byte-identical across
 ``--workers`` counts, repeat runs, and resume
 (``tests/test_feed_determinism.py``).
 """
 
+from repro.feed.asyncserve import AsyncFeedHTTPServer
 from repro.feed.fleet import (
     DomainProtection,
     FeedClientFleet,
     FleetConfig,
     FleetReport,
     lag_table,
+    percentile,
 )
 from repro.feed.http import FeedHTTPServer
+from repro.feed.payloads import CHECKPOINT_INTERVAL, Payload, PayloadStore
 from repro.feed.publisher import FeedPublisher, network_of_clusters
 from repro.feed.server import (
     DELTA,
@@ -51,11 +63,16 @@ from repro.feed.snapshot import (
 )
 
 __all__ = [
+    "AsyncFeedHTTPServer",
+    "CHECKPOINT_INTERVAL",
+    "Payload",
+    "PayloadStore",
     "DomainProtection",
     "FeedClientFleet",
     "FleetConfig",
     "FleetReport",
     "lag_table",
+    "percentile",
     "FeedHTTPServer",
     "FeedPublisher",
     "network_of_clusters",

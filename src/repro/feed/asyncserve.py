@@ -1,0 +1,530 @@
+"""High-throughput asyncio front-end for the blocklist feed.
+
+The stdlib :class:`~repro.feed.http.FeedHTTPServer` is the *reference*
+implementation: one thread per connection, every response assembled
+through the :class:`~repro.feed.server.FeedServer` protocol objects.
+This module is the production front-end: at startup it renders every
+response the tip of the feed can ever produce into **complete HTTP wire
+bytes** — status line, headers, body; identity and gzip variants — and
+the event loop answers each request with one dictionary lookup and one
+``transport.write``.  No ``FeedServer`` protocol objects, no JSON, no
+per-request allocation beyond the parse.
+
+Semantics are pinned to the reference server: both front-ends derive
+every payload decision from the same precomputed
+:class:`~repro.feed.payloads.PayloadStore`, so for every
+``(client_version, client_hash)`` case the two serve byte-identical
+bodies and identical ``ETag``/``X-Feed-Version``/``X-Feed-Status``
+headers (``tests/test_feed_serving.py`` proves it exhaustively).
+
+Scaling out: ``workers=N`` runs N replicas accepting on the same
+``(host, port)`` via ``SO_REUSEPORT`` — replica 0 in-process, the rest
+as forked worker processes that **independently rebuild** their wire
+table from the snapshot records.  Byte-identity across replicas is the
+determinism argument, not shared memory: every wire byte is a pure
+function of the snapshot records, so independently constructed replicas
+cannot disagree (also proved in the test suite).
+
+Serving telemetry: per-status wall-latency histograms and payload-byte
+counters, exposed in ``/v1/stats`` and mirrored into the process
+telemetry (``feed.http.latency_ms.*`` / ``feed.http.payload_bytes.*``)
+when a :mod:`repro.telemetry` context is active.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from urllib.parse import parse_qs
+
+from repro.errors import ConfigError
+from repro.feed.server import DELTA, FULL, NOT_MODIFIED, FeedServer
+from repro.feed.snapshot import FeedSnapshot
+from repro.telemetry import current as current_telemetry
+
+#: Latency histogram bucket upper bounds, in milliseconds.
+LATENCY_BOUNDARIES_MS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+_REASONS = {200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed"}
+
+
+class LatencyHistogram:
+    """A fixed-boundary latency histogram with percentile estimates.
+
+    Updated from the event loop only (single-threaded per replica), read
+    by ``/v1/stats``.  Percentiles are bucket-upper-bound estimates —
+    exact enough for a runbook; the benchmark measures client-side.
+    """
+
+    __slots__ = ("boundaries", "counts", "total", "sum_ms")
+
+    def __init__(self, boundaries: tuple[float, ...] = LATENCY_BOUNDARIES_MS) -> None:
+        self.boundaries = boundaries
+        self.counts = [0] * (len(boundaries) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+
+    def observe(self, value_ms: float) -> None:
+        index = 0
+        for boundary in self.boundaries:
+            if value_ms <= boundary:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_ms += value_ms
+
+    def percentile(self, fraction: float) -> float | None:
+        """Upper bound of the bucket holding the ``fraction`` quantile."""
+        if not self.total:
+            return None
+        rank = fraction * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                if index < len(self.boundaries):
+                    return self.boundaries[index]
+                return float("inf")
+        return float("inf")
+
+    def summary(self) -> dict:
+        return {
+            "count": self.total,
+            "mean_ms": round(self.sum_ms / self.total, 6) if self.total else None,
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+        }
+
+
+def _compose(status_code: int, body: bytes, extra_headers: tuple[tuple[str, str], ...]) -> bytes:
+    """One complete HTTP/1.1 response, keep-alive, fully rendered."""
+    lines = [f"HTTP/1.1 {status_code} {_REASONS[status_code]}"]
+    lines.append("Content-Type: application/json")
+    lines.append(f"Content-Length: {len(body)}")
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+class _Wire:
+    """The precomputed wire table for one feed history tip."""
+
+    def __init__(self, feed: FeedServer) -> None:
+        store = feed.payloads
+        latest = store.latest
+        self.latest_version = latest.version
+        self.latest_hash = latest.content_hash
+
+        def feed_headers(payload) -> tuple[tuple[str, str], ...]:
+            return (
+                ("ETag", payload.content_hash),
+                ("X-Feed-Version", str(payload.version)),
+                ("X-Feed-Status", payload.status),
+            )
+
+        def pair(payload) -> tuple[bytes, bytes]:
+            """(identity, gzip) wire responses for one payload."""
+            identity = _compose(200, payload.body, feed_headers(payload))
+            if payload.gz is None:
+                return identity, identity
+            gz = _compose(
+                200,
+                payload.gz,
+                feed_headers(payload) + (("Content-Encoding", "gzip"),),
+            )
+            return identity, gz
+
+        full = store.full_payload()
+        self.full = pair(full)
+        #: since=V -> (identity, gzip) for every known stale version.
+        self.tip: dict[int, tuple[bytes, bytes]] = {}
+        for snapshot in store.snapshots[:-1]:
+            payload = store.tip_payload(snapshot.version)
+            self.tip[snapshot.version] = pair(payload)
+        self.not_modified = _compose(
+            304,
+            b"",
+            (
+                ("ETag", latest.content_hash),
+                ("X-Feed-Version", str(latest.version)),
+                ("X-Feed-Status", NOT_MODIFIED),
+            ),
+        )
+        self.bad_since = _compose(
+            400, b'{"error":"since must be an integer version"}\n', ()
+        )
+        self.not_found = _compose(404, b'{"error":"unknown path"}\n', ())
+        self.bad_method = _compose(405, b'{"error":"GET only"}\n', ())
+        self.healthz = _compose(200, b'{"status":"ok"}\n', ())
+        # Payload metadata per known version (status + identity body
+        # size), so per-request accounting never re-inspects bytes —
+        # the reference server counts identity bytes in ``bytes_served``
+        # and stats parity requires the same here.
+        self.meta_full = (FULL, len(full.body))
+        self.meta: dict[int, tuple[str, int]] = {}
+        for version in self.tip:
+            payload = store.tip_payload(version)
+            self.meta[version] = (payload.status, len(payload.body))
+
+
+class FeedProtocol(asyncio.Protocol):
+    """Pipelined keep-alive HTTP/1.1 over the precomputed wire table."""
+
+    __slots__ = ("engine", "transport", "buffer")
+
+    def __init__(self, engine: "AsyncFeedServer") -> None:
+        self.engine = engine
+        self.transport: asyncio.Transport | None = None
+        self.buffer = b""
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        if exc is not None or self.buffer:
+            # Dropped mid-request (or with unread pipelined input).
+            self.engine.client_disconnects += 1
+
+    def data_received(self, data: bytes) -> None:
+        buffer = self.buffer + data if self.buffer else data
+        responses: list[bytes] = []
+        close = False
+        while True:
+            head_end = buffer.find(b"\r\n\r\n")
+            if head_end < 0:
+                break
+            head = buffer[:head_end]
+            buffer = buffer[head_end + 4:]
+            response, close = self.engine.respond(head)
+            responses.append(response)
+            if close:
+                buffer = b""
+                break
+        self.buffer = buffer
+        if responses and self.transport is not None:
+            self.transport.write(b"".join(responses))
+            if close:
+                self.transport.close()
+
+
+class AsyncFeedServer:
+    """The serving engine: wire table + request dispatch + accounting.
+
+    One instance per replica.  ``respond`` runs on the event loop, so
+    plain-int counters need no locks; the shared :class:`ServerStats`
+    protocol-level counters go through the feed server's lock to stay
+    exact when embedders also poll it in-process.
+    """
+
+    def __init__(self, feed: FeedServer) -> None:
+        self.feed = feed
+        self.wire = _Wire(feed)
+        self.client_disconnects = 0
+        self.bad_requests = 0
+        self.latency: dict[str, LatencyHistogram] = {
+            FULL: LatencyHistogram(),
+            DELTA: LatencyHistogram(),
+            NOT_MODIFIED: LatencyHistogram(),
+            "error": LatencyHistogram(),
+        }
+
+    # ------------------------------------------------------------ dispatch
+
+    def respond(self, head: bytes) -> tuple[bytes, bool]:
+        """Map one request head to (wire bytes, close-after?)."""
+        started = time.perf_counter()
+        wire = self.wire
+        try:
+            line_end = head.find(b"\r\n")
+            request_line = head if line_end < 0 else head[:line_end]
+            parts = request_line.split(b" ")
+            if len(parts) < 3:
+                return self._finish("error", wire.bad_method, started, True)
+            method, target, _version = parts[0], parts[1], parts[2]
+            if method != b"GET":
+                return self._finish("error", wire.bad_method, started, False)
+            headers = head[line_end + 2:] if line_end >= 0 else b""
+            close = b"connection: close" in headers.lower()
+            path, _, query = target.partition(b"?")
+            if path == b"/v1/feed":
+                return self._feed_response(query, headers, started, close)
+            if path == b"/healthz":
+                return self._finish(None, wire.healthz, started, close)
+            if path == b"/v1/stats":
+                return self._finish(None, self._stats_response(), started, close)
+            return self._finish("error", wire.not_found, started, close)
+        except Exception:
+            self.bad_requests += 1
+            return self._finish("error", wire.bad_since, started, True)
+
+    def _feed_response(
+        self, query: bytes, headers: bytes, started: float, close: bool
+    ) -> tuple[bytes, bool]:
+        wire = self.wire
+        client_hash = self._header(headers, b"if-none-match")
+        accept_gzip = b"gzip" in (
+            self._header(headers, b"accept-encoding") or b""
+        )
+        since = None
+        if query:
+            values = parse_qs(query.decode("latin-1")).get("since")
+            if values:
+                try:
+                    since = int(values[0])
+                except ValueError:
+                    self.bad_requests += 1
+                    return self._finish("error", wire.bad_since, started, close)
+        hash_text = client_hash.decode("latin-1") if client_hash is not None else None
+        if hash_text == wire.latest_hash or (
+            since == wire.latest_version and hash_text is None
+        ):
+            self._account(NOT_MODIFIED, 0)
+            return self._finish(NOT_MODIFIED, wire.not_modified, started, close)
+        pair = wire.tip.get(since, wire.full) if since is not None else wire.full
+        status, size = wire.meta.get(since, wire.meta_full) if since is not None \
+            else wire.meta_full
+        self._account(status, size)
+        return self._finish(status, pair[1] if accept_gzip else pair[0], started, close)
+
+    # ---------------------------------------------------------- accounting
+
+    def _account(self, status: str, size: int) -> None:
+        self.feed.stats.record(status, size)
+        if status != NOT_MODIFIED:
+            self.feed.stats.record_cache(hit=True)
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("feed.http.requests")
+            telemetry.inc(f"feed.http.payload_bytes.{status}", size)
+
+    def _finish(
+        self, status: str | None, response: bytes, started: float, close: bool
+    ) -> tuple[bytes, bool]:
+        if status is not None:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.latency[status].observe(elapsed_ms)
+            telemetry = current_telemetry()
+            if telemetry.enabled:
+                telemetry.observe(
+                    f"feed.http.latency_ms.{status}",
+                    elapsed_ms,
+                    boundaries=LATENCY_BOUNDARIES_MS,
+                )
+        return response, close
+
+    @staticmethod
+    def _header(headers: bytes, name: bytes) -> bytes | None:
+        """Case-insensitive single-header lookup in a raw header block."""
+        lowered = headers.lower()
+        needle = name + b":"
+        start = 0
+        while True:
+            index = lowered.find(needle, start)
+            if index < 0:
+                return None
+            if index == 0 or lowered[index - 1:index] == b"\n":
+                end = headers.find(b"\r\n", index)
+                if end < 0:
+                    end = len(headers)
+                return headers[index + len(needle):end].strip()
+            start = index + 1
+
+    def _stats_response(self) -> bytes:
+        stats = self.feed.stats.as_dict()
+        stats["client_disconnects"] = self.client_disconnects
+        stats["bad_requests"] = self.bad_requests
+        stats["replica_pid"] = os.getpid()
+        stats["latency_ms"] = {
+            status: histogram.summary()
+            for status, histogram in sorted(self.latency.items())
+        }
+        body = json.dumps(stats, sort_keys=True).encode("utf-8") + b"\n"
+        return _compose(200, body, ())
+
+
+# ---------------------------------------------------------------- replicas
+
+
+def _reuseport_socket(host: str, port: int) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if hasattr(socket, "SO_REUSEPORT"):
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    sock.listen(1024)
+    sock.setblocking(False)
+    return sock
+
+
+def _serve_replica_process(
+    records: list[dict], host: str, port: int, checkpoint_interval: int
+) -> None:
+    """A forked worker replica: rebuild everything, serve until killed.
+
+    The replica is constructed **independently** from the snapshot
+    records — nothing is inherited from the parent's wire table — which
+    is exactly why byte-identity across replicas is a determinism
+    theorem rather than an implementation accident.
+    """
+    feed = FeedServer(
+        (FeedSnapshot.from_record(record) for record in records),
+        checkpoint_interval=checkpoint_interval,
+    )
+    engine = AsyncFeedServer(feed)
+    loop = asyncio.new_event_loop()
+    sock = _reuseport_socket(host, port)
+    server = loop.run_until_complete(
+        loop.create_server(lambda: FeedProtocol(engine), sock=sock)
+    )
+    try:
+        loop.run_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        loop.close()
+
+
+class AsyncFeedHTTPServer:
+    """The asyncio feed front-end, optionally replicated via SO_REUSEPORT.
+
+    API mirrors :class:`~repro.feed.http.FeedHTTPServer` (``port=0``
+    binds an ephemeral port; context manager serves from a background
+    thread).  ``workers=N`` accepts on the same port from N replicas:
+    this process plus ``N-1`` forked workers, each with its own event
+    loop, wire table, and kernel accept queue.  ``/v1/stats`` is
+    per-replica (counters are not aggregated across processes).
+    """
+
+    def __init__(
+        self,
+        feed: FeedServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if workers > 1 and not hasattr(socket, "SO_REUSEPORT"):
+            raise ConfigError(
+                "worker replicas need SO_REUSEPORT, which this platform "
+                "lacks; run with workers=1"
+            )
+        self.feed = feed
+        self.engine = AsyncFeedServer(feed)
+        self.workers = workers
+        self._host = host
+        self._sock = _reuseport_socket(host, port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._children: list[multiprocessing.Process] = []
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self._sock.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def _spawn_children(self) -> None:
+        if self.workers <= 1 or self._children:
+            return
+        records = [snapshot.to_record() for snapshot in self.feed.snapshots]
+        context = multiprocessing.get_context("fork")
+        for _ in range(self.workers - 1):
+            child = context.Process(
+                target=_serve_replica_process,
+                args=(
+                    records,
+                    self._host,
+                    self.port,
+                    self.feed.payloads.checkpoint_interval,
+                ),
+                daemon=True,
+            )
+            child.start()
+            self._children.append(child)
+
+    async def _serve(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        server = await loop.create_server(
+            lambda: FeedProtocol(self.engine), sock=self._sock
+        )
+        self._started.set()
+        async with server:
+            await server.serve_forever()
+
+    def serve_forever(self) -> None:
+        """Serve until interrupted (the CLI foreground mode)."""
+        self._spawn_children()
+        try:
+            asyncio.run(self._serve())
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            self._stop_children()
+
+    def start_background(self) -> "AsyncFeedHTTPServer":
+        """Serve from a daemon thread (tests and benchmarks)."""
+        self._spawn_children()
+
+        def runner() -> None:
+            try:
+                asyncio.run(self._serve())
+            except asyncio.CancelledError:
+                pass
+
+        self._thread = threading.Thread(target=runner, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise ConfigError("asyncio feed server failed to start listening")
+        return self
+
+    def shutdown(self) -> None:
+        self._stop_children()
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(
+                lambda: [task.cancel() for task in asyncio.all_tasks(loop)]
+            )
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _stop_children(self) -> None:
+        for child in self._children:
+            child.terminate()
+        for child in self._children:
+            child.join(timeout=5)
+        self._children = []
+
+    def __enter__(self) -> "AsyncFeedHTTPServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

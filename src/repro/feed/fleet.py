@@ -16,6 +16,8 @@ fleet run is deterministic for a given (feed history, config).
 from __future__ import annotations
 
 import json
+import math
+import time
 from dataclasses import dataclass, field
 
 from repro.clock import DAY, MINUTE, EventScheduler, SimClock
@@ -25,6 +27,15 @@ from repro.feed.server import DELTA, FULL, FeedRequest, FeedServer
 from repro.feed.snapshot import FeedDelta, FeedEntry, FeedSnapshot, apply_delta, state_hash
 from repro.rng import rng_for
 from repro.telemetry import current as current_telemetry
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float | None:
+    """Nearest-rank percentile over pre-sorted values (deterministic)."""
+    if not sorted_values:
+        return None
+    rank = math.ceil(fraction * len(sorted_values))
+    index = min(len(sorted_values) - 1, max(0, rank - 1))
+    return sorted_values[index]
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,14 @@ class FleetReport:
     polls: int = 0
     failed_attempts: int = 0
     protection: list[DomainProtection] = field(default_factory=list)
+    #: Per-(cohort, domain) protection lag in minutes, sorted ascending —
+    #: the raw distribution behind the percentile report.  Deterministic
+    #: (sim-clock quantities only).
+    lag_samples_minutes: list[float] = field(default_factory=list)
+    #: Wall-clock per-poll serving latency in ms, sorted ascending.
+    #: Diagnostic only (machine-dependent): excluded from determinism
+    #: comparisons, reported as tail-latency percentiles.
+    poll_latency_ms: list[float] = field(default_factory=list, compare=False)
 
     @property
     def modeled_clients(self) -> int:
@@ -132,6 +151,32 @@ class FleetReport:
             if item.gsb_listed_at is not None
         ]
         return sum(lags) / len(lags) if lags else None
+
+    def lag_percentiles(self) -> dict[str, float | None]:
+        """p50/p95/p99 protection lag (minutes) across (cohort, domain).
+
+        The tail is the number that matters operationally: the paper's
+        protection argument is only as good as the *slowest* cohorts'
+        catch-up, not the mean.
+        """
+        samples = self.lag_samples_minutes
+        return {
+            "count": len(samples),
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
+            "max": samples[-1] if samples else None,
+        }
+
+    def latency_percentiles(self) -> dict[str, float | None]:
+        """p50/p95/p99 wall-clock serving latency (ms) across polls."""
+        samples = self.poll_latency_ms
+        return {
+            "count": len(samples),
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
+        }
 
     def mean_head_start_days(self) -> float | None:
         """Mean (GSB listing − fleet protection) over listed domains —
@@ -180,6 +225,7 @@ class FeedClientFleet:
             )
         clock = SimClock(start)
         scheduler = EventScheduler(clock)
+        self._poll_latency_ms: list[float] = []
         retry_policy = RetryPolicy(
             max_attempts=config.max_attempts, seed=config.seed
         )
@@ -244,6 +290,7 @@ class FeedClientFleet:
     def _poll(self, cohort: _CohortState, now: float) -> None:
         cohort.polls += 1
         current_telemetry().inc("feed.fleet.polls")
+        started = time.perf_counter()
         response = self.server.handle(
             FeedRequest(
                 client_version=cohort.version or None,
@@ -251,6 +298,7 @@ class FeedClientFleet:
             ),
             now=now,
         )
+        self._poll_latency_ms.append((time.perf_counter() - started) * 1000.0)
         if response.status == FULL:
             snapshot = FeedSnapshot.from_record(json.loads(response.payload))
             cohort.entries = snapshot.entry_map()
@@ -276,12 +324,20 @@ class FeedClientFleet:
         report = FleetReport(config=self.config, started_at=start, finished_at=until)
         report.polls = sum(cohort.polls for cohort in cohorts)
         report.failed_attempts = sum(cohort.failed_attempts for cohort in cohorts)
+        report.poll_latency_ms = sorted(getattr(self, "_poll_latency_ms", []))
         published_at: dict[str, float] = {}
         entry_of: dict[str, FeedEntry] = {}
         for snapshot in self.server.snapshots:
             for entry in snapshot.entries:
                 published_at.setdefault(entry.domain, snapshot.published_at)
                 entry_of[entry.domain] = entry
+        lag_samples: list[float] = []
+        for domain, entry in entry_of.items():
+            for cohort in cohorts:
+                when = cohort.protected_at.get(domain)
+                if when is not None:
+                    lag_samples.append((when - entry.first_seen) / MINUTE)
+        report.lag_samples_minutes = sorted(lag_samples)
         for domain in sorted(entry_of):
             times = [
                 cohort.protected_at[domain]

@@ -87,21 +87,10 @@ class _FeedRequestHandler(BaseHTTPRequestHandler):
             self._send(200, b'{"status":"ok"}\n')
             return
         if parsed.path == "/v1/stats":
-            stats = self.feed.stats
-            body = json.dumps(
-                {
-                    "requests": stats.requests,
-                    "full": stats.full_responses,
-                    "delta": stats.delta_responses,
-                    "not_modified": stats.not_modified_responses,
-                    "cache_hits": stats.cache_hits,
-                    "cache_misses": stats.cache_misses,
-                    "bytes_served": stats.bytes_served,
-                    "client_disconnects": self.transport.client_disconnects,
-                    "stalled_timeouts": self.transport.stalled_timeouts,
-                },
-                sort_keys=True,
-            ).encode("utf-8")
+            stats = self.feed.stats.as_dict()
+            stats["client_disconnects"] = self.transport.client_disconnects
+            stats["stalled_timeouts"] = self.transport.stalled_timeouts
+            body = json.dumps(stats, sort_keys=True).encode("utf-8")
             self._send(200, body + b"\n")
             return
         if parsed.path != "/v1/feed":
@@ -126,8 +115,15 @@ class _FeedRequestHandler(BaseHTTPRequestHandler):
         }
         if response.status == NOT_MODIFIED:
             self._send(304, b"", headers)
-        else:
-            self._send(200, response.payload, headers)
+            return
+        # Publish-time gzip: the compressed variant was rendered once
+        # when the payload store was built, never per request.
+        body = response.payload
+        accept = self.headers.get("Accept-Encoding", "")
+        if "gzip" in accept and response.gzip_payload is not None:
+            headers["Content-Encoding"] = "gzip"
+            body = response.gzip_payload
+        self._send(200, body, headers)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # quiet by default; stats live at /v1/stats

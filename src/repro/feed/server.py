@@ -5,32 +5,58 @@ produced, speaking the snapshot/delta protocol of
 :mod:`repro.feed.snapshot`:
 
 * a client with no state gets the latest **full snapshot**;
-* a client at a known older version gets the **delta** to the latest —
-  unless the delta would be no smaller than the full payload, in which
-  case the full snapshot is cheaper for everyone;
-* a client already at the latest version (by version number or by
+* a client at a known older version gets a **delta** — to the latest
+  version when it is close, or to the next *checkpoint* version when it
+  is far behind (delta-chain compaction, see
+  :mod:`repro.feed.payloads`), and never a delta that would be no
+  smaller than the full payload;
+* a client already at the latest version (by version number, or by
   content hash — the conditional-request / ``ETag`` path) is
   short-circuited with **not-modified** before any payload is built.
+  A client whose *hash* contradicts the latest content at the same
+  version number is corrupted, not current: it is repaired with a full
+  snapshot.
 
-Deltas are memoized in a bounded LRU cache: a fleet of clients polling
-at similar cadences keeps hitting the same ``(from, to)`` pairs, so the
-cache turns the steady state into dictionary lookups.
+All payloads for the un-scoped hot path (what a production front-end
+serves) come precomputed from an immutable
+:class:`~repro.feed.payloads.PayloadStore` built at construction —
+request handling is dictionary lookups, no serialization.  Time-scoped
+requests (``now=``, the sim-replay path) additionally memoize deltas in
+a bounded LRU cache keyed by ``(from, to)``.
+
+The server is driven concurrently by the threaded HTTP front-end, so
+:class:`ServerStats` updates are lock-protected — counters are exact
+under load, not approximate.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import ConfigError, StoreError
-from repro.feed.snapshot import FeedDelta, FeedSnapshot, compute_delta
+from repro.feed.payloads import (
+    CHECKPOINT_INTERVAL,
+    DELTA,
+    FULL,
+    NOT_MODIFIED,
+    Payload,
+    PayloadStore,
+)
+from repro.feed.snapshot import FeedSnapshot, compute_delta
 from repro.telemetry import current as current_telemetry
 
-#: Response status tags (the protocol's three verbs).
-FULL = "full"
-DELTA = "delta"
-NOT_MODIFIED = "not_modified"
+__all__ = [
+    "FULL",
+    "DELTA",
+    "NOT_MODIFIED",
+    "FeedRequest",
+    "FeedResponse",
+    "ServerStats",
+    "FeedServer",
+]
 
 
 @dataclass(frozen=True)
@@ -50,12 +76,19 @@ class FeedRequest:
 
 @dataclass(frozen=True)
 class FeedResponse:
-    """The server's answer: status, target version, and the payload."""
+    """The server's answer: status, target version, and the payload.
+
+    ``gzip_payload`` is the publish-time-compressed variant when one was
+    precomputed (HTTP front-ends serve it to ``Accept-Encoding: gzip``
+    clients); it is ``None`` on the time-scoped sim path and never part
+    of equality — the identity ``payload`` is the canonical content.
+    """
 
     status: str
     version: int
     content_hash: str
     payload: bytes
+    gzip_payload: bytes | None = field(default=None, compare=False, repr=False)
 
     @property
     def size(self) -> int:
@@ -64,7 +97,13 @@ class FeedResponse:
 
 @dataclass
 class ServerStats:
-    """Request accounting (also mirrored into telemetry counters)."""
+    """Request accounting (also mirrored into telemetry counters).
+
+    Mutated from many threads at once under the threaded HTTP front-end,
+    so every update happens under one lock; reads of individual fields
+    are torn-free (plain ints) and :meth:`as_dict` takes the lock for a
+    consistent cross-field snapshot.
+    """
 
     requests: int = 0
     full_responses: int = 0
@@ -74,18 +113,52 @@ class ServerStats:
     cache_misses: int = 0
     bytes_served: int = 0
     by_status: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, status: str, size: int) -> None:
-        self.requests += 1
-        self.bytes_served += size
-        self.by_status[status] = self.by_status.get(status, 0) + 1
+        """Account one answered request (exact under concurrency)."""
+        with self._lock:
+            self.requests += 1
+            self.bytes_served += size
+            self.by_status[status] = self.by_status.get(status, 0) + 1
+            if status == FULL:
+                self.full_responses += 1
+            elif status == DELTA:
+                self.delta_responses += 1
+            elif status == NOT_MODIFIED:
+                self.not_modified_responses += 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def as_dict(self) -> dict:
+        """A consistent snapshot of every counter."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "full": self.full_responses,
+                "delta": self.delta_responses,
+                "not_modified": self.not_modified_responses,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "bytes_served": self.bytes_served,
+            }
 
 
 class FeedServer:
     """Serves full-snapshot and delta-since-version blocklist requests."""
 
     def __init__(
-        self, snapshots: Iterable[FeedSnapshot], delta_cache_size: int = 128
+        self,
+        snapshots: Iterable[FeedSnapshot],
+        delta_cache_size: int = 128,
+        checkpoint_interval: int = CHECKPOINT_INTERVAL,
     ) -> None:
         self.snapshots = list(snapshots)
         if not self.snapshots:
@@ -102,12 +175,23 @@ class FeedServer:
         if delta_cache_size < 1:
             raise ValueError("delta_cache_size must be at least 1")
         self._by_version = {snapshot.version: snapshot for snapshot in self.snapshots}
-        self._delta_cache: OrderedDict[tuple[int, int], FeedDelta] = OrderedDict()
+        self.payloads = PayloadStore(
+            self.snapshots, checkpoint_interval=checkpoint_interval
+        )
+        #: LRU of time-scoped delta payload bytes keyed by (from, to);
+        #: the un-scoped hot path never touches it (fully precomputed).
+        self._delta_cache: OrderedDict[tuple[int, int], bytes] = OrderedDict()
         self._delta_cache_size = delta_cache_size
+        self._cache_lock = threading.Lock()
         self.stats = ServerStats()
 
     @classmethod
-    def from_store(cls, store, delta_cache_size: int = 128) -> "FeedServer":
+    def from_store(
+        cls,
+        store,
+        delta_cache_size: int = 128,
+        checkpoint_interval: int = CHECKPOINT_INTERVAL,
+    ) -> "FeedServer":
         """Open the feed a streamed run persisted into its store."""
         # Imported here: the store package must not depend on repro.feed.
         from repro.store.base import FEED
@@ -122,6 +206,7 @@ class FeedServer:
         return cls(
             (FeedSnapshot.from_record(record) for record in records),
             delta_cache_size=delta_cache_size,
+            checkpoint_interval=checkpoint_interval,
         )
 
     # ------------------------------------------------------------- protocol
@@ -142,14 +227,10 @@ class FeedServer:
 
         Lets a sim-clock client fleet replay the publication timeline
         against the full history: the server answers each poll as it
-        would have at that instant.
+        would have at that instant.  Bisect over the publication times —
+        O(log n), not a per-request linear scan.
         """
-        latest = None
-        for snapshot in self.snapshots:
-            if snapshot.published_at > now:
-                break
-            latest = snapshot
-        return latest
+        return self.payloads.latest_at(now)
 
     def handle(self, request: FeedRequest, now: float | None = None) -> FeedResponse:
         """Answer one poll; see the module docstring for the policy.
@@ -165,25 +246,32 @@ class FeedServer:
             response = FeedResponse(
                 status=NOT_MODIFIED, version=0, content_hash="", payload=b""
             )
-            self.stats.not_modified_responses += 1
-            self.stats.record(response.status, 0)
-            if telemetry.enabled:
-                telemetry.inc("feed.server.requests")
-                telemetry.inc(f"feed.server.{response.status}")
-            return response
-        if (
-            request.client_hash == latest.content_hash
-            or request.client_version == latest.version
+        elif request.client_hash == latest.content_hash or (
+            request.client_version == latest.version and request.client_hash is None
         ):
+            # Current by content hash, or by version with no hash to
+            # contradict it.  A matching version with a *mismatched*
+            # hash is a corrupted client and falls through to be
+            # repaired with a full snapshot.
             response = FeedResponse(
                 status=NOT_MODIFIED,
                 version=latest.version,
                 content_hash=latest.content_hash,
                 payload=b"",
             )
-            self.stats.not_modified_responses += 1
+        elif now is None:
+            # The un-scoped hot path: precomputed payload lookup.
+            payload = self.payloads.tip_payload(request.client_version)
+            self.stats.record_cache(hit=True)
+            response = FeedResponse(
+                status=payload.status,
+                version=payload.version,
+                content_hash=payload.content_hash,
+                payload=payload.body,
+                gzip_payload=payload.gz,
+            )
         else:
-            response = self._payload_response(request, latest)
+            response = self._scoped_payload_response(request, latest)
         self.stats.record(response.status, response.size)
         if telemetry.enabled:
             telemetry.inc("feed.server.requests")
@@ -191,44 +279,58 @@ class FeedServer:
             telemetry.observe("feed.server.response_bytes", response.size)
         return response
 
-    def _payload_response(
+    # ----------------------------------------------------------- internals
+
+    def _scoped_payload_response(
         self, request: FeedRequest, latest: FeedSnapshot
     ) -> FeedResponse:
-        base = (
-            self._by_version.get(request.client_version)
+        """The payload path for time-scoped (sim replay) requests.
+
+        Applies the same compaction policy as the precomputed tip table,
+        relative to the *scoped* latest version, memoizing delta bytes
+        in the LRU.  Full-snapshot bytes come from the render-once
+        payload store — nothing is serialized per request.
+        """
+        store = self.payloads
+        latest_index = store.index_of(latest.version)
+        base_index = (
+            store.index_of(request.client_version)
             if request.client_version is not None
             else None
         )
-        if base is not None:
-            delta = self._delta(base, latest)
-            payload = delta.canonical_bytes()
-            full_payload = latest.canonical_bytes()
-            if len(payload) < len(full_payload):
-                self.stats.delta_responses += 1
+        full_bytes = store.full_bytes(latest.version)
+        if base_index is not None and base_index < latest_index:
+            target = store.snapshots[
+                store.delta_target_index(base_index, latest_index)
+            ]
+            payload = self._scoped_delta_bytes(store.snapshots[base_index], target)
+            if len(payload) < len(full_bytes):
                 return FeedResponse(
                     status=DELTA,
-                    version=latest.version,
-                    content_hash=latest.content_hash,
+                    version=target.version,
+                    content_hash=target.content_hash,
                     payload=payload,
                 )
-        self.stats.full_responses += 1
         return FeedResponse(
             status=FULL,
             version=latest.version,
             content_hash=latest.content_hash,
-            payload=latest.canonical_bytes(),
+            payload=full_bytes,
         )
 
-    def _delta(self, base: FeedSnapshot, target: FeedSnapshot) -> FeedDelta:
+    def _scoped_delta_bytes(self, base: FeedSnapshot, target: FeedSnapshot) -> bytes:
         key = (base.version, target.version)
-        cached = self._delta_cache.get(key)
+        with self._cache_lock:
+            cached = self._delta_cache.get(key)
+            if cached is not None:
+                self._delta_cache.move_to_end(key)
         if cached is not None:
-            self._delta_cache.move_to_end(key)
-            self.stats.cache_hits += 1
+            self.stats.record_cache(hit=True)
             return cached
-        self.stats.cache_misses += 1
-        delta = compute_delta(base, target)
-        self._delta_cache[key] = delta
-        while len(self._delta_cache) > self._delta_cache_size:
-            self._delta_cache.popitem(last=False)
-        return delta
+        self.stats.record_cache(hit=False)
+        payload = compute_delta(base, target).canonical_bytes()
+        with self._cache_lock:
+            self._delta_cache[key] = payload
+            while len(self._delta_cache) > self._delta_cache_size:
+                self._delta_cache.popitem(last=False)
+        return payload

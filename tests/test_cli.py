@@ -349,17 +349,27 @@ class TestFeedCommands:
         assert payload["content_hash"] == latest.content_hash
         assert len(payload["entries"]) == len(latest)
 
-    def test_pull_delta_since_first_version(self, feed_store, capsys):
+    def test_pull_delta_chain_from_v1_converges_to_latest(self, feed_store, capsys):
         store_dir, _, result = feed_store
         if len(result.feed) < 2:
             pytest.skip("run published a single feed version")
-        assert main(
-            ["feed", "pull", str(store_dir), "--since", "1", "--json"]
-        ) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["kind"] == "delta"
-        assert payload["from_version"] == 1
-        assert payload["to_version"] == result.feed[-1].version
+        # With delta-chain compaction a deep catch-up may take several
+        # hops (each bounded by the checkpoint interval), but the chain
+        # must reach the latest version in finitely many pulls.
+        latest = result.feed[-1].version
+        since, hops = 1, 0
+        while since < latest:
+            assert main(
+                ["feed", "pull", str(store_dir), "--since", str(since), "--json"]
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["kind"] == "delta"
+            assert payload["from_version"] == since
+            assert payload["to_version"] > since
+            since = payload["to_version"]
+            hops += 1
+            assert hops <= len(result.feed), "delta chain failed to converge"
+        assert since == latest
 
     def test_lag_prints_protection_table(self, feed_store, capsys):
         store_dir, _, _ = feed_store

@@ -239,26 +239,59 @@ class TestServer:
         response = server.handle(FeedRequest(client_version=99))
         assert response.status == FULL
 
-    def test_delta_cache_hits_on_repeat_polls(self):
+    def test_unscoped_deltas_are_precomputed_cache_hits(self):
+        # The tip path never computes anything per request: every
+        # payload response counts as a cache hit against the payload
+        # store, and repeat polls stay hits.
         server = FeedServer(self.history())
         server.handle(FeedRequest(client_version=1))
         server.handle(FeedRequest(client_version=1))
+        assert server.stats.cache_misses == 0
+        assert server.stats.cache_hits == 2
+
+    def test_scoped_delta_cache_memoizes_repeat_polls(self):
+        server = FeedServer(self.history())
+        at_tip = self.history()[-1].published_at
+        server.handle(FeedRequest(client_version=1), now=at_tip)
+        server.handle(FeedRequest(client_version=1), now=at_tip)
         assert server.stats.cache_misses == 1
         assert server.stats.cache_hits == 1
 
-    def test_delta_cache_is_bounded_lru(self):
+    def test_scoped_delta_cache_is_bounded_lru(self):
         history = [
             snapshot(v, v * HOUR, *[f"d{i}.com" for i in range(v)])
             for v in range(1, 6)
         ]
         server = FeedServer(history, delta_cache_size=2)
+        at_tip = history[-1].published_at
         for version in (1, 2, 3):
-            server.handle(FeedRequest(client_version=version))
+            server.handle(FeedRequest(client_version=version), now=at_tip)
         assert len(server._delta_cache) == 2
         # (1, 5) was evicted; polling it again misses.
         misses = server.stats.cache_misses
-        server.handle(FeedRequest(client_version=1))
+        server.handle(FeedRequest(client_version=1), now=at_tip)
         assert server.stats.cache_misses == misses + 1
+
+    def test_corrupted_client_at_latest_version_gets_full_repair(self):
+        # Regression: a client claiming the latest version but holding
+        # the wrong content (hash mismatch) was answered 304 forever.
+        server = FeedServer(self.history())
+        latest = server.latest
+        response = server.handle(
+            FeedRequest(client_version=latest.version, client_hash="corrupt")
+        )
+        assert response.status == FULL
+        assert response.payload == latest.canonical_bytes()
+
+    def test_stale_hash_at_latest_version_gets_full_repair(self):
+        # Hash from an *older* snapshot at the latest version number is
+        # still a contradiction: repair, don't 304.
+        server = FeedServer(self.history())
+        stale_hash = server.snapshots[0].content_hash
+        response = server.handle(
+            FeedRequest(client_version=server.latest.version, client_hash=stale_hash)
+        )
+        assert response.status == FULL
 
     def test_time_scoped_requests_see_only_published_history(self):
         server = FeedServer(self.history())
