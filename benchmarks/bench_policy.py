@@ -1,0 +1,180 @@
+"""Adaptive crawl scheduling vs the static plan, on the skewed preset.
+
+Runs every policy (static-with-budget, epsilon-greedy, UCB1) against the
+same skewed-yield worlds — ``WorldConfig.skewed``: one ad network per
+publisher, so per-arm SE yield follows the network's rate directly — and
+scores discovery-per-session, time to first SE sighting, campaigns and
+discoverable-network coverage.  Results land in
+``results/BENCH_policy.json``.
+
+Gates:
+
+* aggregate UCB1 discovery-per-session must beat the static baseline by
+  ``SEACMA_POLICY_GAIN_FLOOR`` (default 1.5x) over the seed set;
+* the exploration floor must keep surfacing all three *discoverable* ad
+  networks across the UCB1 runs — adaptivity must not blind the
+  unknown-network expansion stage;
+* adaptive runs must be worker-count invariant (workers=2 reproduces
+  workers=1 exactly).
+
+Override the seed set with a comma-separated ``POLICY_BENCH_SEEDS``
+(shorter CI ladders); the committed result uses the default five seeds.
+Everything here is deterministic — reruns reproduce the JSON bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+
+from repro.ecosystem.world import WorldConfig
+from repro.sched.evaluate import evaluate_policy
+from repro.sched.policy import SchedConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+DEFAULT_SEEDS = (7, 11, 13, 17, 23)
+SESSION_BUDGET = 100
+POLICIES = ("static", "egreedy", "ucb1")
+FAULT_RATES = (0.0, 0.05)
+#: The three networks only reachable through the unknown-ad expansion
+#: stage — the exploration floor's job is to keep them surfacing.
+DISCOVERABLE_NETWORKS = ("Ad-Center", "Ero Advertising", "Yllix")
+
+
+def _seeds() -> tuple[int, ...]:
+    override = os.environ.get("POLICY_BENCH_SEEDS")
+    if not override:
+        return DEFAULT_SEEDS
+    return tuple(int(part) for part in override.split(",") if part.strip())
+
+
+def _gain_floor() -> float:
+    return float(os.environ.get("SEACMA_POLICY_GAIN_FLOOR", "1.5"))
+
+
+def _outcome_row(outcome) -> dict:
+    return {
+        "policy": outcome.policy,
+        "sessions": outcome.sessions,
+        "rounds": outcome.rounds,
+        "se_interactions": outcome.se_interactions,
+        "se_per_session": round(outcome.se_per_session, 4),
+        "campaigns": outcome.campaigns,
+        "first_sighting": outcome.first_sighting,
+        "discovered_networks": list(outcome.discovered_networks),
+    }
+
+
+def _run_matrix(seeds, fault_rate: float, policies=POLICIES) -> list[dict]:
+    rows = []
+    for seed in seeds:
+        config = WorldConfig.skewed(seed=seed, crawl_window_days=1.0)
+        if fault_rate:
+            config = dataclasses.replace(config, fault_rate=fault_rate)
+        for policy in policies:
+            outcome = evaluate_policy(
+                config,
+                SchedConfig(policy=policy, session_budget=SESSION_BUDGET),
+            )
+            rows.append({"seed": seed, "fault_rate": fault_rate}
+                        | _outcome_row(outcome))
+    return rows
+
+
+def _aggregate(rows: list[dict], policy: str) -> dict:
+    mine = [row for row in rows if row["policy"] == policy]
+    sessions = sum(row["sessions"] for row in mine)
+    se = sum(row["se_interactions"] for row in mine)
+    sightings = [
+        row["first_sighting"]
+        for row in mine
+        if row["first_sighting"] is not None
+    ]
+    networks = sorted(
+        {name for row in mine for name in row["discovered_networks"]}
+    )
+    return {
+        "policy": policy,
+        "runs": len(mine),
+        "sessions": sessions,
+        "se_interactions": se,
+        "se_per_session": round(se / sessions, 4) if sessions else 0.0,
+        "campaigns": sum(row["campaigns"] for row in mine),
+        "mean_first_sighting": (
+            round(sum(sightings) / len(sightings), 1) if sightings else None
+        ),
+        "discovered_networks": networks,
+    }
+
+
+def test_policy_discovery_gain(save_artifact):
+    seeds = _seeds()
+    floor = _gain_floor()
+
+    headline = _run_matrix(seeds, fault_rate=0.0)
+    faulted = _run_matrix(seeds, fault_rate=0.05, policies=("static", "ucb1"))
+
+    aggregates = {
+        f"fault_{rate}": [
+            _aggregate(rows, policy)
+            for policy in POLICIES
+            if any(row["policy"] == policy for row in rows)
+        ]
+        for rate, rows in ((0.0, headline), (0.05, faulted))
+    }
+
+    # Worker-count invariance: the adaptive run's decisions (and
+    # therefore its yield) must not depend on execution sharding.
+    config = WorldConfig.skewed(seed=seeds[0], crawl_window_days=1.0)
+    sched = SchedConfig(policy="ucb1", session_budget=SESSION_BUDGET)
+    one = evaluate_policy(config, sched, workers=1)
+    two = evaluate_policy(config, sched, workers=2)
+    assert _outcome_row(one) == _outcome_row(two), (
+        "ucb1 outcome diverged between workers=1 and workers=2"
+    )
+
+    static_agg = _aggregate(headline, "static")
+    ucb_agg = _aggregate(headline, "ucb1")
+    assert static_agg["se_per_session"] > 0, "static baseline found nothing"
+    gain = ucb_agg["se_per_session"] / static_agg["se_per_session"]
+    assert gain >= floor, (
+        f"ucb1 discovery-per-session gain {gain:.3f}x is below the "
+        f"{floor}x floor (static {static_agg['se_per_session']}, "
+        f"ucb1 {ucb_agg['se_per_session']})"
+    )
+
+    missing = set(DISCOVERABLE_NETWORKS) - set(ucb_agg["discovered_networks"])
+    assert not missing, (
+        f"exploration floor failed to surface discoverable networks: "
+        f"{sorted(missing)}"
+    )
+
+    payload = {
+        "benchmark": "policy",
+        "preset": "skewed",
+        "session_budget": SESSION_BUDGET,
+        "seeds": list(seeds),
+        "gain_floor": floor,
+        "ucb1_vs_static_gain": round(gain, 3),
+        "workers_invariant": True,
+        "aggregates": aggregates,
+        "runs": headline + faulted,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_policy.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_artifact(
+        "policy_gain",
+        "\n".join(
+            f"{agg['policy']:>8}: {agg['se_per_session']:.4f} SE/session, "
+            f"{agg['campaigns']} campaigns, first sighting "
+            f"{agg['mean_first_sighting']}, networks "
+            f"{', '.join(agg['discovered_networks']) or '-'}"
+            for agg in aggregates["fault_0.0"]
+        )
+        + f"\nucb1 vs static: {gain:.3f}x (floor {floor}x)",
+    )

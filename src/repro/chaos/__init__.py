@@ -27,9 +27,11 @@ from repro.chaos.plan import (
     seeded_schedule,
 )
 from repro.chaos.points import (
+    ADAPTIVE_ONLY_POINTS,
     CRASH_EXIT_CODE,
     CRASH_POINTS,
     PARALLEL_ONLY_POINTS,
+    POLICY_POINTS,
     RECOVERY_ONLY_POINTS,
     WORLD_POINTS,
     CrashError,
@@ -41,10 +43,12 @@ from repro.chaos.points import (
 from repro.chaos.runner import ChaosReport, ChaosRunner, PhaseResult
 
 __all__ = [
+    "ADAPTIVE_ONLY_POINTS",
     "CRASH_EXIT_CODE",
     "CRASH_POINTS",
     "MODES",
     "PARALLEL_ONLY_POINTS",
+    "POLICY_POINTS",
     "RECOVERY_ONLY_POINTS",
     "WORLD_POINTS",
     "ChaosReport",

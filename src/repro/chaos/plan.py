@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import IO, Iterator
 
 from repro.chaos.points import (
+    ADAPTIVE_ONLY_POINTS,
     CRASH_POINTS,
     PARALLEL_ONLY_POINTS,
     RECOVERY_ONLY_POINTS,
@@ -47,6 +48,9 @@ _OCCURRENCE_POOLS: dict[str, tuple[int, ...]] = {
     # A tiny lazy run's reversal pass alone materializes every publisher
     # (~130 builds), so these depths always fire before the crawl starts.
     "world.materialize": (1, 15, 75),
+    # One hit per completed crawl round; an adaptive tiny run with the
+    # default round sizing spans roughly a dozen rounds.
+    "policy.update": (1, 2, 4),
 }
 
 
@@ -78,6 +82,10 @@ class CrashDirective:
     @property
     def recovery_only(self) -> bool:
         return self.point in RECOVERY_ONLY_POINTS
+
+    @property
+    def adaptive_only(self) -> bool:
+        return self.point in ADAPTIVE_ONLY_POINTS
 
     def to_env(self, token_path: str | os.PathLike[str]) -> dict[str, str]:
         """Environment variables that arm this directive in a child tree."""

@@ -68,6 +68,12 @@ MERGE_POINTS = ("parallel.merge.pre", "parallel.merge.post")
 #: lazy run (reversal materializes every publisher), including inside
 #: shard workers.
 WORLD_POINTS = ("world.materialize.pre", "world.materialize.post")
+#: The adaptive-scheduling arm-statistics write: ``pre`` dies before the
+#: round's cumulative stats record is appended, ``post`` after the append
+#: but before the intent commits.  Either way recovery rolls the intent
+#: back and the resumed run recomputes the identical record from the
+#: replayed stages.
+POLICY_POINTS = ("policy.update.pre", "policy.update.post")
 
 CRASH_POINTS = (
     STORE_POINTS
@@ -76,11 +82,18 @@ CRASH_POINTS = (
     + FEED_POINTS
     + MERGE_POINTS
     + WORLD_POINTS
+    + POLICY_POINTS
 )
 
 #: Points that only execute inside shard worker processes / the parallel
 #: merge — unreachable with ``workers=1``.
 PARALLEL_ONLY_POINTS = SEGMENT_POINTS + MERGE_POINTS
+
+#: Points that only execute when adaptive scheduling is on (``--policy``
+#: egreedy/ucb1 or a session budget) — unreachable in a static run, so
+#: the default chaos matrix skips them and the dedicated policy matrix
+#: covers them.
+ADAPTIVE_ONLY_POINTS = POLICY_POINTS
 
 #: Points that only execute during crash *recovery* (the store never
 #: truncates during a healthy run); exercising them needs a priming

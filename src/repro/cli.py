@@ -11,6 +11,8 @@ Subcommands::
                      [--no-lazy-world]
                      [--stream --store-dir DIR [--batch-domains N]
                       [--workers K] [--fsync]]
+                     [--policy static|egreedy|ucb1 [--explore-floor F]
+                      [--session-budget N]]
                      [--trace-dir DIR] [--metrics]
     seacma resume    STORE_DIR --days 2 [--no-milking]
                      [--batch-domains N] [--workers K] [--fsync]
@@ -26,6 +28,7 @@ Subcommands::
     seacma feed      pull  STORE_DIR [--since N] [--json]
     seacma feed      lag   STORE_DIR [--cohorts N] [--clients-per-cohort N]
                      [--poll-minutes F] [--fault-rate P] [--fleet-seed N]
+                     [--poll-jitter F]
     seacma selfcheck --preset small [--no-lazy-world]
 
 ``run --stream`` persists the run into a store directory as it goes;
@@ -43,6 +46,15 @@ off by default).  ``store check`` validates a run store end to end —
 repairing torn tails, rolling back uncommitted write intents, and
 printing per-stream record counts — and exits non-zero on corruption
 that crash recovery cannot explain.
+
+``run --policy egreedy|ucb1`` (or ``--session-budget N``) replaces the
+single canonical crawl plan with round-based adaptive scheduling
+(:mod:`repro.sched`): each round's sessions are reallocated across ad
+networks by observed SE yield, with ``--explore-floor`` reserving a
+round-robin slice so low-yield networks keep surfacing.  Decisions are
+persisted to the store's ``policy`` stream, so ``seacma resume``
+replays them byte-identically; ``--policy static`` (no budget) keeps
+today's plan, byte for byte.
 
 Worlds are built lazily by default (``--lazy-world``): publisher pages
 are derived on demand into a bounded cache, so populations of 10k+
@@ -88,6 +100,7 @@ from repro.core.milking import MilkingConfig
 _PRESETS = {
     "tiny": WorldConfig.tiny,
     "small": WorldConfig.small,
+    "skewed": WorldConfig.skewed,
     "paper": WorldConfig.paper_scale,
 }
 
@@ -155,6 +168,31 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="fsync every store write (durability against power "
                 "loss, not just process death)",
+            )
+            command.add_argument(
+                "--policy",
+                choices=("static", "egreedy", "ucb1"),
+                default="static",
+                help="crawl scheduling policy: static keeps today's "
+                "single canonical plan; egreedy/ucb1 reallocate each "
+                "round's sessions toward the ad networks that yielded "
+                "SE interactions (deterministic for a fixed seed)",
+            )
+            command.add_argument(
+                "--explore-floor",
+                type=float,
+                default=0.15,
+                help="fraction of each adaptive round reserved for a "
+                "round-robin sweep over all ad networks, so low-yield "
+                "networks keep surfacing",
+            )
+            command.add_argument(
+                "--session-budget",
+                type=int,
+                default=None,
+                help="total crawl sessions across all rounds (adaptive "
+                "scheduling; with --policy static this walks the "
+                "canonical plan order until the budget is spent)",
             )
             _add_telemetry_arguments(command)
         if name in ("tables", "report"):
@@ -267,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
     lag.add_argument(
         "--fleet-seed", type=int, default=0, help="fleet randomness seed"
     )
+    lag.add_argument(
+        "--poll-jitter",
+        type=float,
+        default=0.0,
+        help="per-client poll-time jitter as a fraction of the poll "
+        "interval (0 keeps the exact grid; 0.5 spreads each poll "
+        "uniformly across half an interval, seeded and deterministic)",
+    )
     return parser
 
 
@@ -303,10 +349,22 @@ def _run_pipeline(args):
     if fault_rate:
         config = dataclasses.replace(config, fault_rate=fault_rate)
     world = build_world(config, lazy=args.lazy_world)
+    sched_config = None
+    if getattr(args, "policy", "static") != "static" or getattr(
+        args, "session_budget", None
+    ) is not None:
+        from repro.sched import SchedConfig
+
+        sched_config = SchedConfig(
+            policy=args.policy,
+            explore_floor=args.explore_floor,
+            session_budget=args.session_budget,
+        )
     pipeline = SeacmaPipeline(
         world,
         milking_config=_milking_config(args),
         retries_enabled=not getattr(args, "no_retries", False),
+        sched_config=sched_config,
     )
     with_milking = not getattr(args, "no_milking", False)
     telemetry = _activate_telemetry(args, world)
@@ -540,6 +598,7 @@ def _feed(args) -> int:
         poll_interval_minutes=args.poll_minutes,
         fault_rate=args.fault_rate,
         seed=args.fleet_seed,
+        poll_jitter_fraction=args.poll_jitter,
     )
     fleet = FeedClientFleet(server, config, gsb=world.gsb)
     report = fleet.run()
@@ -665,6 +724,15 @@ def _dispatch(args) -> int:
             f"{len(result.crawl.interactions)} ads, "
             f"{len(result.discovery.seacma_campaigns)} SEACMA campaigns"
         )
+        if getattr(args, "policy", "static") != "static" or getattr(
+            args, "session_budget", None
+        ) is not None:
+            budget = args.session_budget
+            print(
+                f"scheduling: policy={args.policy}"
+                + (f", session budget {budget}" if budget is not None else "")
+                + f", explore floor {args.explore_floor:.2f}"
+            )
         if result.crawl.residential_dropped:
             print(
                 f"residential cap: {result.crawl.residential_dropped} "

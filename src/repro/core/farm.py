@@ -62,6 +62,16 @@ class FarmConfig:
     #: Cap on residential-group sites actually visited (§4.1: bandwidth
     #: limits meant only 11,182 of 34,068 such sites were crawled).
     residential_visit_fraction: float = 0.33
+    #: Fixed virtual-time step per session, overriding the derived one.
+    #: The adaptive scheduler (:mod:`repro.sched`) pins this so every
+    #: round — in the parent and in every shard worker — plans on the one
+    #: global grid computed from the whole session budget.
+    plan_time_step: float | None = None
+    #: Whether :meth:`CrawlerFarm.plan_crawl` applies the residential
+    #: visit cap.  Round-based crawls disable it: the scheduler caps the
+    #: eligible universe once up front, and re-capping each (already
+    #: capped) round slice would truncate it again.
+    apply_residential_cap: bool = True
 
 
 @dataclass
@@ -226,11 +236,14 @@ class CrawlerFarm:
         """
         config = self.config
         institutional, residential = self.split_publisher_groups(publisher_domains)
-        residential_cap = 0
-        if residential and config.residential_visit_fraction > 0:
-            residential_cap = max(
-                1, int(len(residential) * config.residential_visit_fraction)
-            )
+        if config.apply_residential_cap:
+            residential_cap = 0
+            if residential and config.residential_visit_fraction > 0:
+                residential_cap = max(
+                    1, int(len(residential) * config.residential_visit_fraction)
+                )
+        else:
+            residential_cap = len(residential)
         dropped = len(residential) - residential_cap
         residential = residential[:residential_cap]
         profiles_per_domain = len(config.profiles)
@@ -280,6 +293,7 @@ class CrawlerFarm:
         publisher_domains: list[str],
         checkpoint: CrawlCheckpoint | None = None,
         shard: tuple[int, int] | None = None,
+        started_at: float | None = None,
     ) -> Iterator[CrawlBatch]:
         """Crawl lazily, yielding one :class:`CrawlBatch` per finished domain.
 
@@ -295,12 +309,19 @@ class CrawlerFarm:
         positions (and so their session clock values and laptop slots)
         are unchanged, which is how worker processes each crawl a
         disjoint slice of the identical canonical plan.
+
+        ``started_at`` overrides the plan's virtual start time (default:
+        the checkpoint dataset's start).  Round-based crawls pass each
+        round's grid position here while the dataset keeps the whole
+        run's start.
         """
         world = self.world
         if checkpoint is None:
             checkpoint = CrawlCheckpoint(dataset=CrawlDataset(started_at=world.clock.now()))
         self.checkpoint = checkpoint
-        plan = self.plan_crawl(publisher_domains, checkpoint.dataset.started_at)
+        if started_at is None:
+            started_at = checkpoint.dataset.started_at
+        plan = self.plan_crawl(publisher_domains, started_at)
         checkpoint.dataset.residential_dropped = plan.residential_dropped
         entries = plan.entries
         if shard is not None:
@@ -485,8 +506,20 @@ class CrawlerFarm:
                 stats.sessions_lost += 1
             return []
 
+    def plan_time_step(self, total_sessions: int) -> float:
+        """The virtual-time step a plan over ``total_sessions`` would use.
+
+        Public so the adaptive scheduler can derive the one global grid
+        for a whole session budget and pin it via
+        :attr:`FarmConfig.plan_time_step` (the per-round plans must not
+        re-derive a step from their own, smaller session counts).
+        """
+        return self._time_step(total_sessions)
+
     def _time_step(self, total_sessions: int) -> float:
         config = self.config
+        if config.plan_time_step is not None:
+            return config.plan_time_step
         session_seconds = config.crawler.session_seconds
         if config.parallelism is not None:
             return session_seconds / config.parallelism

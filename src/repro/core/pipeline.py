@@ -33,7 +33,7 @@ the surviving store.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 from repro.chaos.points import crash_point
@@ -80,6 +80,8 @@ from repro.store.base import (
     PROGRESS,
     RunStore,
 )
+from repro.sched.policy import SchedConfig
+from repro.sched.scheduler import PolicyScheduler
 from repro.store.memory import MemoryStore
 from repro.store.records import (
     attribution_to_records,
@@ -155,6 +157,7 @@ class SeacmaPipeline:
         retries_enabled: bool = True,
         retry_policy: RetryPolicy | None = None,
         feed_interval_minutes: float = 60.0,
+        sched_config: SchedConfig | None = None,
     ) -> None:
         self.world = world
         self.farm_config = farm_config if farm_config is not None else FarmConfig()
@@ -167,6 +170,10 @@ class SeacmaPipeline:
         self.retries_enabled = retries_enabled
         self.retry_policy = retry_policy
         self.feed_interval_minutes = feed_interval_minutes
+        #: Adaptive crawl scheduling (:mod:`repro.sched`).  ``None`` — or
+        #: a non-adaptive config (static policy, no budget) — keeps
+        #: today's single canonical crawl plan, byte for byte.
+        self.sched_config = sched_config
         self._ensure_resilience()
 
     def _ensure_resilience(self) -> None:
@@ -281,6 +288,11 @@ class SeacmaPipeline:
 
     def run(self, with_milking: bool = True) -> PipelineResult:
         """Run the full pipeline in batch mode and collect every artifact."""
+        if self.sched_config is not None and self.sched_config.is_adaptive:
+            # Adaptive scheduling is inherently incremental (each round's
+            # allocation needs the previous round's analysis), so batch
+            # mode delegates to a streaming run over an in-process store.
+            return self.run_streaming(with_milking=with_milking)
         telemetry = current_telemetry()
         result = PipelineResult()
         with telemetry.span("pipeline.run", attrs={"mode": "batch"}):
@@ -458,7 +470,31 @@ class StreamingRun:
             self.result.publisher_domains = pipeline.reverse_publishers(
                 self.result.patterns
             )
-        self.farm = CrawlerFarm(pipeline.world, pipeline.farm_config)
+        sched_config = pipeline.sched_config
+        if resume:
+            # The stored config wins on resume: `seacma resume DIR` takes
+            # no policy flags, and an API caller cannot accidentally
+            # continue an adaptive run with a different policy.
+            stored = store.get_meta("sched_config")
+            if stored is not None:
+                sched_config = SchedConfig.from_meta(stored)
+        self.sched: PolicyScheduler | None = None
+        if sched_config is not None and sched_config.is_adaptive:
+            self.sched = PolicyScheduler(
+                pipeline, store, self.result.publisher_domains, sched_config
+            )
+            # Round plans run on the scheduler's global time grid with
+            # the residential cap already applied to the universe.
+            self.farm = CrawlerFarm(
+                pipeline.world,
+                replace(
+                    pipeline.farm_config,
+                    plan_time_step=self.sched.time_step,
+                    apply_residential_cap=False,
+                ),
+            )
+        else:
+            self.farm = CrawlerFarm(pipeline.world, pipeline.farm_config)
         self.writer = StoreWriter(store)
         self.discovery_stage = IncrementalDiscovery(
             eps=pipeline.eps, min_pts=pipeline.min_pts, theta_c=pipeline.theta_c
@@ -473,6 +509,8 @@ class StreamingRun:
         self._checkpoint: CrawlCheckpoint | None = None
         if resume:
             self._checkpoint = self._rebuild_checkpoint()
+            if self.sched is not None:
+                self.sched.resume(self)
         else:
             if store.count(INTERACTIONS) or store.count(PROGRESS):
                 raise StoreError(
@@ -496,6 +534,10 @@ class StreamingRun:
                 [pattern_to_record(pattern) for pattern in self.result.patterns],
             )
             store.put_meta("publisher_domains", self.result.publisher_domains)
+            if self.sched is not None:
+                # Written only for adaptive runs so a static store stays
+                # byte-identical to a build without the policy layer.
+                store.put_meta("sched_config", sched_config.to_meta())
             store.commit_intent()
 
     # ----------------------------------------------------------- crawling
@@ -509,8 +551,10 @@ class StreamingRun:
         batches is the current campaign census.  Abandoning the iterator
         leaves the store resumable.
         """
-        store = self.store
         telemetry = current_telemetry()
+        if self.sched is not None:
+            yield from self._policy_batches(telemetry)
+            return
         if self.workers > 1:
             batches = self._parallel_batches()
         else:
@@ -525,40 +569,7 @@ class StreamingRun:
             attrs={"publishers": len(self.result.publisher_domains)},
         ):
             for batch in batches:
-                # The batch's rows, hashes and progress marker land
-                # all-or-nothing: a crash inside the barrier rolls the
-                # store back to the previous batch boundary on resume,
-                # and the domain is simply re-crawled.
-                store.begin_intent(f"batch:{batch.domain}")
-                self.writer.ingest(batch.interactions)
-                crash_point("checkpoint.persist")
-                checkpoint = self.farm.checkpoint
-                store.append(
-                    PROGRESS,
-                    progress_to_record(
-                        domain=batch.domain,
-                        residential=batch.residential,
-                        laptop_index=checkpoint.laptop_index,
-                        clock=batch.clock,
-                        sessions=checkpoint.dataset.sessions,
-                        interaction_rows=self.writer.rows_written,
-                    ),
-                )
-                store.commit_intent()
-                # The canonical per-domain span: plan-derived start, batch
-                # clock end — a pure function of (world config, arguments),
-                # identical whichever process ran the sessions.
-                telemetry.complete_span(
-                    "crawl.domain",
-                    sim_start=batch.plan_start,
-                    sim_end=batch.clock,
-                    attrs={
-                        "domain": batch.domain,
-                        "residential": batch.residential,
-                        "sessions": batch.sessions,
-                        "interactions": len(batch.interactions),
-                    },
-                )
+                self._persist_batch(batch, telemetry)
                 self._buffer.extend(batch.interactions)
                 self._buffered_domains += 1
                 if self._buffered_domains >= self.batch_domains:
@@ -566,8 +577,109 @@ class StreamingRun:
                 yield batch
             self._flush()
 
+    def _policy_batches(self, telemetry) -> Iterator[CrawlBatch]:
+        """The adaptive crawl: policy-allocated rounds with yield feedback.
+
+        Each round is a complete mini-crawl over the scheduler's chosen
+        domains, run through the identical persistence path as the static
+        crawl (same intents, same progress markers, same canonical
+        spans), then flushed into the analysis stages so
+        :meth:`PolicyScheduler.complete_round` scores it from merged,
+        plan-ordered data.
+        """
+        sched = self.sched
+        world = self.pipeline.world
+        if self._checkpoint is not None:
+            # A resumed run may have nothing left to crawl; finalize still
+            # reads the rebuilt checkpoint through the farm.
+            self.farm.checkpoint = self._checkpoint
+        with telemetry.span(
+            "stage.crawl",
+            attrs={"publishers": len(self.result.publisher_domains)},
+        ):
+            while True:
+                plan = sched.begin_round(self)
+                if plan is None:
+                    break
+                for batch in self._round_batches(plan):
+                    self._persist_batch(batch, telemetry)
+                    self._buffer.extend(batch.interactions)
+                    self._buffered_domains += 1
+                    if self._buffered_domains >= self.batch_domains:
+                        self._flush()
+                    yield batch
+                self._checkpoint = self.farm.checkpoint
+                # Feedback reads the analysis stages, so the round's tail
+                # must be ingested even mid-``batch_domains`` group.  The
+                # flush boundary is plan-derived (a round boundary), hence
+                # identical across worker counts and resume.
+                self._flush()
+                sched.complete_round(self, plan)
+            checkpoint = self._checkpoint
+            dataset = checkpoint.dataset
+            # The per-round plans ran with the residential cap disabled;
+            # restore the run-level accounting the scheduler computed when
+            # it capped the eligible universe.
+            dataset.residential_dropped = sched.residential_dropped
+            dataset.finished_at = sched.finished_at()
+            world.clock.seek(dataset.finished_at)
+
+    def _round_batches(self, plan) -> Iterator[CrawlBatch]:
+        """Crawl one round through the farm or the sharded executor."""
+        if self.workers > 1:
+            executor = self._make_executor()
+            return executor.run(
+                list(plan.domains), self._checkpoint, started_at=plan.started_at
+            )
+        return self.farm.crawl_incremental(
+            list(plan.domains), self._checkpoint, started_at=plan.started_at
+        )
+
+    def _persist_batch(self, batch: CrawlBatch, telemetry) -> None:
+        """Store one finished domain: rows, hashes, progress — atomically.
+
+        The batch's rows, hashes and progress marker land all-or-nothing:
+        a crash inside the barrier rolls the store back to the previous
+        batch boundary on resume, and the domain is simply re-crawled.
+        """
+        store = self.store
+        store.begin_intent(f"batch:{batch.domain}")
+        self.writer.ingest(batch.interactions)
+        crash_point("checkpoint.persist")
+        checkpoint = self.farm.checkpoint
+        store.append(
+            PROGRESS,
+            progress_to_record(
+                domain=batch.domain,
+                residential=batch.residential,
+                laptop_index=checkpoint.laptop_index,
+                clock=batch.clock,
+                sessions=checkpoint.dataset.sessions,
+                interaction_rows=self.writer.rows_written,
+            ),
+        )
+        store.commit_intent()
+        # The canonical per-domain span: plan-derived start, batch
+        # clock end — a pure function of (world config, arguments),
+        # identical whichever process ran the sessions.
+        telemetry.complete_span(
+            "crawl.domain",
+            sim_start=batch.plan_start,
+            sim_end=batch.clock,
+            attrs={
+                "domain": batch.domain,
+                "residential": batch.residential,
+                "sessions": batch.sessions,
+                "interactions": len(batch.interactions),
+            },
+        )
+
     def _parallel_batches(self) -> Iterator[CrawlBatch]:
         """The sharded-executor crawl path (``workers`` > 1)."""
+        executor = self._make_executor()
+        return executor.run(self.result.publisher_domains, self._checkpoint)
+
+    def _make_executor(self):
         # Imported lazily: repro.parallel imports the world builder, which
         # would cycle through this module at import time.
         from repro.parallel import ShardedCrawlExecutor
@@ -580,7 +692,7 @@ class StreamingRun:
             import tempfile
 
             directory = tempfile.mkdtemp(prefix="seacma-shards-")
-        executor = ShardedCrawlExecutor(
+        return ShardedCrawlExecutor(
             pipeline.world,
             self.farm,
             workers=self.workers,
@@ -588,7 +700,6 @@ class StreamingRun:
             retries_enabled=pipeline.retries_enabled,
             retry_policy=pipeline.retry_policy,
         )
-        return executor.run(self.result.publisher_domains, self._checkpoint)
 
     def _flush(self) -> None:
         """Feed buffered interactions to the analysis stages."""

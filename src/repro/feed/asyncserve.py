@@ -29,15 +29,25 @@ Serving telemetry: per-status wall-latency histograms and payload-byte
 counters, exposed in ``/v1/stats`` and mirrored into the process
 telemetry (``feed.http.latency_ms.*`` / ``feed.http.payload_bytes.*``)
 when a :mod:`repro.telemetry` context is active.
+
+Cluster stats: with ``workers=N`` every replica periodically publishes
+its raw counters to a shared *stats mailbox* directory (atomic
+tmp-write + ``os.replace``, so readers never see a torn file), and
+``GET /v1/stats?scope=cluster`` answers with the merge — counters
+summed, latency histograms combined bucket-wise — plus the replica
+count, regardless of which replica the kernel routed the request to.
 """
 
 from __future__ import annotations
 
 import asyncio
+import glob
 import json
 import multiprocessing
 import os
+import shutil
 import socket
+import tempfile
 import threading
 import time
 from urllib.parse import parse_qs
@@ -55,6 +65,9 @@ LATENCY_BOUNDARIES_MS = (
 
 _REASONS = {200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed"}
+
+#: How often (seconds) each replica refreshes its stats-mailbox file.
+STATS_PUBLISH_INTERVAL = 0.5
 
 
 class LatencyHistogram:
@@ -105,6 +118,24 @@ class LatencyHistogram:
             "p95_ms": self.percentile(0.95),
             "p99_ms": self.percentile(0.99),
         }
+
+    def to_record(self) -> dict:
+        """Raw mergeable state (what the stats mailbox carries)."""
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum_ms": self.sum_ms,
+        }
+
+    def merge_record(self, record: dict) -> None:
+        """Fold another replica's raw histogram into this one."""
+        if tuple(record["boundaries"]) != self.boundaries:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in enumerate(record["counts"]):
+            self.counts[index] += count
+        self.total += record["total"]
+        self.sum_ms += record["sum_ms"]
 
 
 def _compose(status_code: int, body: bytes, extra_headers: tuple[tuple[str, str], ...]) -> bytes:
@@ -234,11 +265,14 @@ class AsyncFeedServer:
     exact when embedders also poll it in-process.
     """
 
-    def __init__(self, feed: FeedServer) -> None:
+    def __init__(self, feed: FeedServer, stats_dir: str | None = None) -> None:
         self.feed = feed
         self.wire = _Wire(feed)
         self.client_disconnects = 0
         self.bad_requests = 0
+        #: Shared mailbox directory for cross-replica stats (None when
+        #: the front-end runs a single replica with no mailbox).
+        self.stats_dir = stats_dir
         self.latency: dict[str, LatencyHistogram] = {
             FULL: LatencyHistogram(),
             DELTA: LatencyHistogram(),
@@ -269,7 +303,9 @@ class AsyncFeedServer:
             if path == b"/healthz":
                 return self._finish(None, wire.healthz, started, close)
             if path == b"/v1/stats":
-                return self._finish(None, self._stats_response(), started, close)
+                return self._finish(
+                    None, self._stats_response(query), started, close
+                )
             return self._finish("error", wire.not_found, started, close)
         except Exception:
             self.bad_requests += 1
@@ -347,17 +383,112 @@ class AsyncFeedServer:
                 return headers[index + len(needle):end].strip()
             start = index + 1
 
-    def _stats_response(self) -> bytes:
-        stats = self.feed.stats.as_dict()
-        stats["client_disconnects"] = self.client_disconnects
-        stats["bad_requests"] = self.bad_requests
-        stats["replica_pid"] = os.getpid()
-        stats["latency_ms"] = {
-            status: histogram.summary()
-            for status, histogram in sorted(self.latency.items())
-        }
+    def _stats_response(self, query: bytes = b"") -> bytes:
+        scope = None
+        if query:
+            values = parse_qs(query.decode("latin-1")).get("scope")
+            scope = values[0] if values else None
+        if scope == "cluster":
+            stats = self.cluster_stats()
+        else:
+            stats = self.feed.stats.as_dict()
+            stats["client_disconnects"] = self.client_disconnects
+            stats["bad_requests"] = self.bad_requests
+            stats["replica_pid"] = os.getpid()
+            stats["latency_ms"] = {
+                status: histogram.summary()
+                for status, histogram in sorted(self.latency.items())
+            }
         body = json.dumps(stats, sort_keys=True).encode("utf-8") + b"\n"
         return _compose(200, body, ())
+
+    # ------------------------------------------------------- cluster stats
+
+    def stats_record(self) -> dict:
+        """This replica's raw mergeable counters (the mailbox payload)."""
+        return {
+            "counters": self.feed.stats.as_dict()
+            | {
+                "client_disconnects": self.client_disconnects,
+                "bad_requests": self.bad_requests,
+            },
+            "replica_pid": os.getpid(),
+            "latency_ms": {
+                status: histogram.to_record()
+                for status, histogram in sorted(self.latency.items())
+            },
+        }
+
+    def publish_stats(self) -> None:
+        """Atomically refresh this replica's stats-mailbox file.
+
+        tmp-write + ``os.replace`` keeps every read torn-free: a sibling
+        replica merging the mailbox sees either the previous complete
+        snapshot or this one, never a partial file.
+        """
+        if self.stats_dir is None:
+            return
+        path = os.path.join(self.stats_dir, f"replica-{os.getpid()}.json")
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self.stats_record(), handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # mailbox gone mid-shutdown; stats are best-effort
+
+    def start_stats_publisher(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Begin periodic mailbox refreshes on this replica's loop."""
+        if self.stats_dir is None:
+            return
+
+        def tick() -> None:
+            self.publish_stats()
+            loop.call_later(STATS_PUBLISH_INTERVAL, tick)
+
+        tick()
+
+    def cluster_stats(self) -> dict:
+        """Merge this replica's live counters with every sibling's mailbox.
+
+        Own counters come from memory (always current); siblings are as
+        fresh as their last mailbox publish (≤ the publish interval old).
+        """
+        own = self.stats_record()
+        records = [own]
+        if self.stats_dir is not None:
+            own_name = f"replica-{own['replica_pid']}.json"
+            for path in sorted(
+                glob.glob(os.path.join(self.stats_dir, "replica-*.json"))
+            ):
+                if os.path.basename(path) == own_name:
+                    continue
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        records.append(json.load(handle))
+                except (OSError, ValueError):
+                    continue  # replica died mid-replace or file vanished
+        counters: dict[str, int] = {}
+        merged = {
+            status: LatencyHistogram(self.latency[status].boundaries)
+            for status in self.latency
+        }
+        for record in records:
+            for key, value in record["counters"].items():
+                counters[key] = counters.get(key, 0) + value
+            for status, histogram in record["latency_ms"].items():
+                merged.setdefault(status, LatencyHistogram()).merge_record(
+                    histogram
+                )
+        return counters | {
+            "scope": "cluster",
+            "replicas": len(records),
+            "replica_pids": sorted(record["replica_pid"] for record in records),
+            "latency_ms": {
+                status: histogram.summary()
+                for status, histogram in sorted(merged.items())
+            },
+        }
 
 
 # ---------------------------------------------------------------- replicas
@@ -375,7 +506,11 @@ def _reuseport_socket(host: str, port: int) -> socket.socket:
 
 
 def _serve_replica_process(
-    records: list[dict], host: str, port: int, checkpoint_interval: int
+    records: list[dict],
+    host: str,
+    port: int,
+    checkpoint_interval: int,
+    stats_dir: str | None = None,
 ) -> None:
     """A forked worker replica: rebuild everything, serve until killed.
 
@@ -388,12 +523,13 @@ def _serve_replica_process(
         (FeedSnapshot.from_record(record) for record in records),
         checkpoint_interval=checkpoint_interval,
     )
-    engine = AsyncFeedServer(feed)
+    engine = AsyncFeedServer(feed, stats_dir=stats_dir)
     loop = asyncio.new_event_loop()
     sock = _reuseport_socket(host, port)
     server = loop.run_until_complete(
         loop.create_server(lambda: FeedProtocol(engine), sock=sock)
     )
+    engine.start_stats_publisher(loop)
     try:
         loop.run_forever()
     except KeyboardInterrupt:
@@ -410,8 +546,10 @@ class AsyncFeedHTTPServer:
     binds an ephemeral port; context manager serves from a background
     thread).  ``workers=N`` accepts on the same port from N replicas:
     this process plus ``N-1`` forked workers, each with its own event
-    loop, wire table, and kernel accept queue.  ``/v1/stats`` is
-    per-replica (counters are not aggregated across processes).
+    loop, wire table, and kernel accept queue.  ``/v1/stats`` answers
+    with the handling replica's own counters;
+    ``/v1/stats?scope=cluster`` merges every replica's mailbox file
+    into one fleet-wide view (see the module docstring).
     """
 
     def __init__(
@@ -429,7 +567,12 @@ class AsyncFeedHTTPServer:
                 "lacks; run with workers=1"
             )
         self.feed = feed
-        self.engine = AsyncFeedServer(feed)
+        self._stats_dir = (
+            tempfile.mkdtemp(prefix="seacma-feed-stats-")
+            if workers > 1
+            else None
+        )
+        self.engine = AsyncFeedServer(feed, stats_dir=self._stats_dir)
         self.workers = workers
         self._host = host
         self._sock = _reuseport_socket(host, port)
@@ -459,6 +602,7 @@ class AsyncFeedHTTPServer:
                     self._host,
                     self.port,
                     self.feed.payloads.checkpoint_interval,
+                    self._stats_dir,
                 ),
                 daemon=True,
             )
@@ -471,6 +615,7 @@ class AsyncFeedHTTPServer:
         server = await loop.create_server(
             lambda: FeedProtocol(self.engine), sock=self._sock
         )
+        self.engine.start_stats_publisher(loop)
         self._started.set()
         async with server:
             await server.serve_forever()
@@ -515,6 +660,10 @@ class AsyncFeedHTTPServer:
             self._sock.close()
         except OSError:
             pass
+        if self._stats_dir is not None:
+            shutil.rmtree(self._stats_dir, ignore_errors=True)
+            self._stats_dir = None
+            self.engine.stats_dir = None
 
     def _stop_children(self) -> None:
         for child in self._children:

@@ -8,8 +8,8 @@ how that compares to waiting for Google Safe Browsing.
 Scale comes from per-cohort aggregation: clients are grouped into
 ``cohorts`` cohorts of ``clients_per_cohort`` identically scheduled
 clients, so one simulated poll stands for a whole cohort's worth of
-traffic.  Everything is seeded — cohort phase offsets, injected poll
-faults, retry backoff (via :class:`repro.faults.RetryPolicy`) — so the
+traffic.  Everything is seeded — cohort phase offsets, per-poll
+schedule jitter, injected poll faults, retry backoff (via :class:`repro.faults.RetryPolicy`) — so the
 fleet run is deterministic for a given (feed history, config).
 """
 
@@ -45,6 +45,12 @@ class FleetConfig:
     cohorts: int = 20
     clients_per_cohort: int = 50_000
     poll_interval_minutes: float = 30.0
+    #: Fraction of the poll interval each poll may drift from its grid
+    #: slot (uniform in ``±fraction/2 * interval``, seeded per cohort and
+    #: poll index).  Real clients never tick on an exact grid; jitter
+    #: smears the thundering herd the cohort model would otherwise
+    #: create.  0.0 (the default) keeps the exact historical schedule.
+    poll_jitter_fraction: float = 0.0
     #: Probability one poll attempt fails in transit (client-side view of
     #: flaky networks); failed attempts retry with deterministic backoff.
     fault_rate: float = 0.0
@@ -56,6 +62,8 @@ class FleetConfig:
             raise ValueError("cohorts and clients_per_cohort must be positive")
         if self.poll_interval_minutes <= 0:
             raise ValueError("poll_interval_minutes must be positive")
+        if not 0.0 <= self.poll_jitter_fraction < 1.0:
+            raise ValueError("poll_jitter_fraction must be in [0, 1)")
         if not 0.0 <= self.fault_rate < 1.0:
             raise ValueError("fault_rate must be in [0, 1)")
         if self.max_attempts < 1:
@@ -268,9 +276,29 @@ class FeedClientFleet:
                 counter["polls"] += 1
                 attempt(cohort, poll_index, 0, now)
 
-            scheduler.schedule_every(
-                interval, fire, start=start + offset, until=until
-            )
+            if config.poll_jitter_fraction == 0.0:
+                scheduler.schedule_every(
+                    interval, fire, start=start + offset, until=until
+                )
+                return
+            # Jittered path: same grid slots as schedule_every (one poll
+            # per slot, same count), each displaced by a seeded uniform
+            # draw and clamped into the run window so no poll is lost.
+            k = 0
+            while True:
+                slot = start + offset + k * interval
+                if slot > until:
+                    break
+                jitter = (
+                    rng_for(
+                        config.seed, "feed-poll-jitter", cohort.index, k
+                    ).random()
+                    - 0.5
+                ) * config.poll_jitter_fraction * interval
+                scheduler.schedule_at(
+                    min(until, max(start, slot + jitter)), fire
+                )
+                k += 1
 
         with telemetry.span(
             "feed.fleet",

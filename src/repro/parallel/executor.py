@@ -230,6 +230,7 @@ class ShardedCrawlExecutor:
         self._span_payloads: dict[int, dict] = {}
         self._respawns: dict[int, int] = {}
         self._publisher_domains: tuple[str, ...] = ()
+        self._started_at: float = 0.0
 
     # ------------------------------------------------------------------ run
 
@@ -237,12 +238,17 @@ class ShardedCrawlExecutor:
         self,
         publisher_domains: list[str],
         checkpoint: CrawlCheckpoint | None = None,
+        started_at: float | None = None,
     ) -> Iterator[CrawlBatch]:
         """Crawl ``publisher_domains`` with worker processes.
 
         Yields finished batches in canonical plan order as soon as each
         becomes available, updating ``checkpoint`` (and the farm's
-        dataset) exactly as the sequential drive would.
+        dataset) exactly as the sequential drive would.  ``started_at``
+        overrides the plan's virtual start time, mirroring
+        :meth:`~repro.core.farm.CrawlerFarm.crawl_incremental` — the
+        workers plan from the same override, so round-based crawls shard
+        exactly like a whole-run plan.
         """
         world = self.world
         farm = self.farm
@@ -251,7 +257,10 @@ class ShardedCrawlExecutor:
                 dataset=CrawlDataset(started_at=world.clock.now())
             )
         farm.checkpoint = checkpoint
-        plan = farm.plan_crawl(publisher_domains, checkpoint.dataset.started_at)
+        if started_at is None:
+            started_at = checkpoint.dataset.started_at
+        self._started_at = started_at
+        plan = farm.plan_crawl(publisher_domains, started_at)
         checkpoint.dataset.residential_dropped = plan.residential_dropped
         pending = [
             entry
@@ -322,7 +331,7 @@ class ShardedCrawlExecutor:
             retries_enabled=self.retries_enabled,
             retry_policy=self.retry_policy,
             publisher_domains=self._publisher_domains,
-            started_at=checkpoint.dataset.started_at,
+            started_at=self._started_at,
             completed_domains=frozenset(checkpoint.completed_domains),
             shard=shard,
             shard_count=self.workers,

@@ -1,0 +1,37 @@
+"""Adaptive crawl scheduling: seeded bandit policies over ad-network arms.
+
+The paper's crawl (§3.2) spends its session budget uniformly.  This
+package adds a deterministic *policy* layer on top of the plan-derived
+farm: publishers are grouped by their primary ad network (the "arms"),
+the crawl proceeds in rounds, and after each round the policy observes
+the yield the streaming stages measured (SE interactions, new SE
+clusters, network attributions) and reallocates the next round's session
+budget.  Every decision is a pure function of ``(seed, observed
+yields)`` — see :mod:`repro.sched.policy` — so adaptive runs keep the
+repo's byte-identity invariants across worker counts and crash→resume.
+"""
+
+from repro.sched.policy import (
+    POLICIES,
+    ArmStats,
+    CrawlPolicy,
+    EpsilonGreedyPolicy,
+    SchedConfig,
+    StaticPolicy,
+    UCB1Policy,
+    make_policy,
+)
+from repro.sched.scheduler import PolicyScheduler, RoundPlan
+
+__all__ = [
+    "POLICIES",
+    "ArmStats",
+    "CrawlPolicy",
+    "EpsilonGreedyPolicy",
+    "PolicyScheduler",
+    "RoundPlan",
+    "SchedConfig",
+    "StaticPolicy",
+    "UCB1Policy",
+    "make_policy",
+]

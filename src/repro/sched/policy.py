@@ -1,0 +1,393 @@
+"""Crawl allocation policies: static, epsilon-greedy and UCB1.
+
+An *arm* is an ad network key; pulling an arm means spending one
+publisher domain (all user-agent profiles) from that arm's queue in the
+next crawl round.  A policy maps the cumulative per-arm statistics to a
+per-arm grant for the round.
+
+Determinism contract
+--------------------
+``allocate`` must be a pure function of its arguments.  The only
+randomness a policy may use is the :class:`random.Random` handed in by
+the scheduler, which is derived as ``rng_for(seed, "sched", policy,
+round_index)`` — so for a fixed world seed and a fixed sequence of
+observed yields, every allocation (and therefore every store byte an
+adaptive run writes) is reproducible across processes, worker counts and
+crash→resume.  Ties are broken lexicographically, never by dict order.
+
+Exploration floor
+-----------------
+Both adaptive policies reserve ``explore_floor`` of each round for a
+round-robin sweep over every arm that still has unvisited publishers.
+That keeps low-yield arms sampled forever, which is what lets the three
+*discoverable* networks (embedded by a minority of publishers across all
+arms) keep surfacing even while the exploit half of the budget piles
+onto the high-SE-rate networks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SchedConfig:
+    """Configuration of the adaptive scheduling layer.
+
+    ``policy="static"`` with no ``session_budget`` is the default and
+    disables the layer entirely — the pipeline runs today's single
+    canonical plan, byte-identical to a build without this module.
+    Setting a budget (even with the static policy — the evaluation
+    baseline) or picking an adaptive policy turns on round-based
+    crawling, the ``policy`` store stream and the ``sched.round``
+    telemetry span.
+    """
+
+    policy: str = "static"
+    #: Fraction of each round reserved for the round-robin exploration
+    #: sweep (adaptive policies only).
+    explore_floor: float = 0.15
+    #: Total crawl sessions to spend (``None`` = full coverage: every
+    #: eligible publisher x every UA profile, like the static plan).
+    session_budget: int | None = None
+    #: Publisher domains per round (``None`` = sized so the budget spans
+    #: roughly twelve rounds, never below the arm count).
+    round_domains: int | None = None
+    #: Exploration rate of :class:`EpsilonGreedyPolicy`.
+    epsilon: float = 0.1
+    #: Exploration coefficient of :class:`UCB1Policy` (scales the
+    #: range-normalized confidence bonus).
+    ucb_coef: float = 0.25
+    #: Reward weight of a newly formed / newly won SE cluster.
+    cluster_weight: float = 5.0
+    #: Reward weight of one interaction inside a *candidate* SE cluster —
+    #: a cluster triaged as an SE attack but not yet spread over theta_c
+    #: domains.  This is the early signal: confirmed SE hits arrive only
+    #: after a campaign crosses the domain threshold, which on a small
+    #: budget is several rounds too late to steer anything.
+    candidate_weight: float = 1.0
+    #: Reward weight of one attributed (non-SE) interaction.
+    attribution_weight: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown crawl policy {self.policy!r}; "
+                f"pick one of {', '.join(sorted(POLICIES))}"
+            )
+        if not 0.0 <= self.explore_floor <= 1.0:
+            raise ConfigError("explore_floor must be in [0, 1]")
+        if self.session_budget is not None and self.session_budget < 1:
+            raise ConfigError("session_budget must be at least 1")
+        if self.round_domains is not None and self.round_domains < 1:
+            raise ConfigError("round_domains must be at least 1")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigError("epsilon must be in [0, 1]")
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the round-based scheduling machinery activates."""
+        return self.policy != "static" or self.session_budget is not None
+
+    def to_meta(self) -> dict[str, Any]:
+        """JSON-compatible form for the store's ``sched_config`` meta key."""
+        return asdict(self)
+
+    @classmethod
+    def from_meta(cls, payload: Mapping[str, Any]) -> "SchedConfig":
+        return cls(**payload)
+
+
+@dataclass
+class ArmStats:
+    """Cumulative observations for one arm (ad network)."""
+
+    #: Publisher domains crawled from this arm.
+    pulls: int = 0
+    #: Sessions those pulls scheduled (pulls x UA profiles).
+    sessions: int = 0
+    #: Cumulative reward (SE hits + weighted clusters + attributions).
+    reward: float = 0.0
+    #: Interactions that landed inside a confirmed SE campaign.
+    se_hits: int = 0
+    #: Interactions inside candidate (sub-theta_c) SE clusters.
+    candidates: int = 0
+    #: Interactions attributed to a known network.
+    attributed: int = 0
+    #: SE clusters currently majority-attributed to this arm (a level,
+    #: not a running total — clusters can merge).
+    clusters: int = 0
+
+    @property
+    def mean_reward(self) -> float:
+        return self.reward / self.pulls if self.pulls else 0.0
+
+
+@runtime_checkable
+class CrawlPolicy(Protocol):
+    """The allocation strategy the scheduler consults each round."""
+
+    name: str
+    #: Ordered policies ignore arms: the scheduler feeds them the
+    #: original publisher-list order (today's static plan order).
+    ordered: bool
+
+    def allocate(
+        self,
+        round_index: int,
+        queue_sizes: Mapping[str, int],
+        stats: Mapping[str, ArmStats],
+        budget: int,
+        rng: random.Random,
+    ) -> dict[str, int]:
+        """Per-arm domain grants for one round.
+
+        ``queue_sizes`` maps each arm to its remaining unvisited
+        publishers; grants must not exceed them, and their sum must not
+        exceed ``budget``.
+        """
+        ...
+
+
+def _alive_arms(queue_sizes: Mapping[str, int]) -> list[str]:
+    """Arms with unvisited publishers left, in canonical (sorted) order."""
+    return sorted(arm for arm, size in queue_sizes.items() if size > 0)
+
+
+def _floor_grants(
+    alive: list[str],
+    queue_sizes: Mapping[str, int],
+    budget: int,
+    floor_fraction: float,
+    round_index: int,
+) -> dict[str, int]:
+    """The exploration floor: a round-robin sweep over every live arm.
+
+    The rotation start advances with the round index so no arm is
+    systematically favoured when the floor does not divide evenly.
+    """
+    grants = {arm: 0 for arm in alive}
+    if not alive:
+        return grants
+    capacity = sum(queue_sizes[arm] for arm in alive)
+    floor_total = min(budget, capacity, int(round(floor_fraction * budget)))
+    start = round_index % len(alive)
+    cursor = 0
+    granted = 0
+    while granted < floor_total:
+        arm = alive[(start + cursor) % len(alive)]
+        cursor += 1
+        if grants[arm] < queue_sizes[arm]:
+            grants[arm] += 1
+            granted += 1
+    return grants
+
+
+def _open_arms(
+    alive: list[str], grants: Mapping[str, int], queue_sizes: Mapping[str, int]
+) -> list[str]:
+    return [arm for arm in alive if grants[arm] < queue_sizes[arm]]
+
+
+class StaticPolicy:
+    """Today's behaviour: spend the budget in publisher-list order.
+
+    Without a session budget the scheduler never engages and the
+    pipeline runs the one-shot canonical plan.  With a budget (the
+    evaluation baseline) the rounds walk the original crawl list front
+    to back — no feedback, no exploration, exactly the prefix the static
+    plan would have crawled first.
+    """
+
+    name = "static"
+    ordered = True
+
+    def allocate(
+        self,
+        round_index: int,
+        queue_sizes: Mapping[str, int],
+        stats: Mapping[str, ArmStats],
+        budget: int,
+        rng: random.Random,
+    ) -> dict[str, int]:
+        # Arm-agnostic: grant proportionally to queue order is meaningless
+        # here, so grab from arms in canonical order until the budget is
+        # spent.  The scheduler bypasses this for ordered policies; it
+        # exists so StaticPolicy still satisfies the protocol.
+        grants: dict[str, int] = {}
+        remaining = budget
+        for arm in _alive_arms(queue_sizes):
+            take = min(queue_sizes[arm], remaining)
+            if take:
+                grants[arm] = take
+                remaining -= take
+            if remaining == 0:
+                break
+        return grants
+
+
+class EpsilonGreedyPolicy:
+    """Exploit the best observed mean, explore uniformly with rate ε."""
+
+    name = "egreedy"
+    ordered = False
+
+    def __init__(self, epsilon: float = 0.1, explore_floor: float = 0.15) -> None:
+        self.epsilon = epsilon
+        self.explore_floor = explore_floor
+
+    def allocate(
+        self,
+        round_index: int,
+        queue_sizes: Mapping[str, int],
+        stats: Mapping[str, ArmStats],
+        budget: int,
+        rng: random.Random,
+    ) -> dict[str, int]:
+        alive = _alive_arms(queue_sizes)
+        grants = _floor_grants(
+            alive, queue_sizes, budget, self.explore_floor, round_index
+        )
+        capacity = sum(queue_sizes[arm] for arm in alive)
+        target = min(budget, capacity)
+        spent = sum(grants.values())
+        while spent < target:
+            open_arms = _open_arms(alive, grants, queue_sizes)
+            if rng.random() < self.epsilon:
+                arm = open_arms[rng.randrange(len(open_arms))]
+            else:
+                # Highest observed mean among open arms; lexicographic
+                # tie-break (strict > keeps the first/smallest winner).
+                arm = open_arms[0]
+                best = -math.inf
+                for candidate in open_arms:
+                    mean = stats[candidate].mean_reward if candidate in stats else 0.0
+                    if mean > best:
+                        best = mean
+                        arm = candidate
+            grants[arm] += 1
+            spent += 1
+        return {arm: count for arm, count in grants.items() if count}
+
+
+class UCB1Policy:
+    """Upper-confidence-bound allocation, batched per round.
+
+    Arms are scored **once per round** as ``mean + coef * range *
+    sqrt(2 ln T / pulls)`` and the round's exploit share fills arm
+    queues in score order (never-pulled arms first, one grant each).
+    Two deliberate departures from textbook per-pull UCB1, both forced
+    by this environment:
+
+    * **Winner-takes-round.**  Per-unit batched UCB (counting in-round
+      grants toward ``n``) equalizes pulls whenever means tie — and
+      means tie for the first rounds, while the theta_c cluster filter
+      withholds SE confirmations.  Pull-balancing is the worst possible
+      schedule here: cluster confirmation rewards *concentration*
+      (theta_c distinct pairs must land in one cluster), so the round's
+      exploit share commits to the top-scoring arm instead.
+    * **Range-scaled bonus.**  UCB1's ±sqrt bonus assumes rewards in
+      [0, 1]; ours are unbounded (SE hits + weighted clusters).  The
+      bonus is scaled by the observed spread of arm means, so while the
+      means are uninformative (all near-equal) the bonus is proportionally
+      small and the policy commits lexicographically instead of chasing
+      the least-pulled arm, and once yields separate the bonus is in the
+      means' own units.
+
+    Exploration never dies: the floor sweep keeps every arm sampled
+    regardless of scores.
+    """
+
+    name = "ucb1"
+    ordered = False
+
+    def __init__(self, coef: float = 0.25, explore_floor: float = 0.15) -> None:
+        self.coef = coef
+        self.explore_floor = explore_floor
+
+    def allocate(
+        self,
+        round_index: int,
+        queue_sizes: Mapping[str, int],
+        stats: Mapping[str, ArmStats],
+        budget: int,
+        rng: random.Random,
+    ) -> dict[str, int]:
+        alive = _alive_arms(queue_sizes)
+        grants = _floor_grants(
+            alive, queue_sizes, budget, self.explore_floor, round_index
+        )
+        capacity = sum(queue_sizes[arm] for arm in alive)
+        target = min(budget, capacity)
+        spent = sum(grants.values())
+        observed = {
+            arm: (stats[arm].pulls if arm in stats else 0) for arm in alive
+        }
+        # Cold start: one grant to every never-pulled arm (canonical
+        # order) before any arm is exploited.
+        for arm in alive:
+            if spent >= target:
+                break
+            if observed[arm] == 0 and grants[arm] < queue_sizes[arm]:
+                grants[arm] += 1
+                spent += 1
+        means = {
+            arm: (stats[arm].mean_reward if arm in stats else 0.0)
+            for arm in alive
+        }
+        spread = max(means.values(), default=0.0) - min(means.values(), default=0.0)
+        horizon = max(2, sum(observed.values()))
+        ranked = sorted(
+            (arm for arm in alive if observed[arm] > 0),
+            key=lambda arm: (
+                -(
+                    means[arm]
+                    + self.coef
+                    * spread
+                    * math.sqrt(2.0 * math.log(horizon) / observed[arm])
+                ),
+                arm,
+            ),
+        )
+        for arm in ranked:
+            if spent >= target:
+                break
+            take = min(target - spent, queue_sizes[arm] - grants[arm])
+            grants[arm] += take
+            spent += take
+        return {arm: count for arm, count in grants.items() if count}
+
+
+POLICIES = ("static", "egreedy", "ucb1")
+
+
+def make_policy(config: SchedConfig) -> CrawlPolicy:
+    """Instantiate the configured policy."""
+    if config.policy == "static":
+        return StaticPolicy()
+    if config.policy == "egreedy":
+        return EpsilonGreedyPolicy(
+            epsilon=config.epsilon, explore_floor=config.explore_floor
+        )
+    if config.policy == "ucb1":
+        return UCB1Policy(
+            coef=config.ucb_coef, explore_floor=config.explore_floor
+        )
+    raise ConfigError(f"unknown crawl policy {config.policy!r}")
+
+
+__all__ = [
+    "ArmStats",
+    "CrawlPolicy",
+    "EpsilonGreedyPolicy",
+    "POLICIES",
+    "SchedConfig",
+    "StaticPolicy",
+    "UCB1Policy",
+    "make_policy",
+]

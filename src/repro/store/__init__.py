@@ -18,6 +18,7 @@ from repro.store.base import (
     INTERACTIONS,
     META,
     MILKING,
+    POLICY,
     PROGRESS,
     STREAMS,
     RunStore,
@@ -37,6 +38,7 @@ __all__ = [
     "ATTRIBUTION",
     "FEED",
     "MILKING",
+    "POLICY",
     "PROGRESS",
     "META",
 ]

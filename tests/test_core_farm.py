@@ -176,3 +176,97 @@ class TestInterleavedCrawls:
         assert domains_a <= set(list_a)
         assert dataset_b is not checkpoint_a.dataset
         assert checkpoint_a.dataset.publishers_visited == 3
+
+
+class TestGroupSplitEdges:
+    def test_empty_input_yields_empty_groups(self, tiny_world):
+        assert CrawlerFarm(tiny_world).split_publisher_groups([]) == ([], [])
+
+    def test_input_order_preserved_within_groups(self, tiny_world):
+        farm = CrawlerFarm(tiny_world)
+        domains = [site.domain for site in tiny_world.publishers]
+        reversed_inst, reversed_res = farm.split_publisher_groups(
+            list(reversed(domains))
+        )
+        institutional, residential = farm.split_publisher_groups(domains)
+        assert reversed_inst == list(reversed(institutional))
+        assert reversed_res == list(reversed(residential))
+
+    def test_split_is_a_partition(self, tiny_world):
+        farm = CrawlerFarm(tiny_world)
+        domains = [site.domain for site in tiny_world.publishers]
+        institutional, residential = farm.split_publisher_groups(domains)
+        assert sorted(institutional + residential) == sorted(domains)
+
+
+class TestResidentialCapEdges:
+    def test_cap_disabled_keeps_every_residential_domain(self, fresh_world):
+        # The adaptive scheduler's mode: the universe is capped once up
+        # front, so per-round plans must not re-truncate their slice.
+        farm = CrawlerFarm(
+            fresh_world,
+            FarmConfig(
+                residential_visit_fraction=0.25, apply_residential_cap=False
+            ),
+        )
+        domains = [site.domain for site in fresh_world.publishers]
+        _, residential = farm.split_publisher_groups(domains)
+        plan = farm.plan_crawl(domains, started_at=0.0)
+        kept = [entry for entry in plan.entries if entry.residential]
+        assert len(kept) == len(residential)
+        assert plan.residential_dropped == 0
+
+    def test_full_fraction_drops_nothing(self, fresh_world):
+        farm = CrawlerFarm(
+            fresh_world, FarmConfig(residential_visit_fraction=1.0)
+        )
+        domains = [site.domain for site in fresh_world.publishers]
+        _, residential = farm.split_publisher_groups(domains)
+        plan = farm.plan_crawl(domains, started_at=0.0)
+        assert plan.residential_dropped == 0
+        assert sum(1 for e in plan.entries if e.residential) == len(residential)
+
+    def test_all_institutional_plan_has_no_drops(self, fresh_world):
+        farm = CrawlerFarm(fresh_world)
+        institutional, _ = farm.split_publisher_groups(
+            [site.domain for site in fresh_world.publishers]
+        )
+        plan = farm.plan_crawl(institutional, started_at=0.0)
+        assert plan.residential_dropped == 0
+        assert not any(entry.residential for entry in plan.entries)
+
+
+class TestPlanTimeStep:
+    def test_pinned_step_overrides_everything(self, tiny_world):
+        farm = CrawlerFarm(
+            tiny_world, FarmConfig(plan_time_step=12.5, parallelism=8)
+        )
+        assert farm.plan_time_step(1) == 12.5
+        assert farm.plan_time_step(100_000) == 12.5
+
+    def test_parallelism_divides_session_seconds(self, tiny_world):
+        config = FarmConfig(parallelism=4)
+        farm = CrawlerFarm(tiny_world, config)
+        expected = config.crawler.session_seconds / 4
+        assert farm.plan_time_step(10) == expected
+
+    def test_default_spans_the_crawl_window(self, tiny_world):
+        farm = CrawlerFarm(tiny_world)
+        window = tiny_world.config.crawl_window_days * 86400.0
+        assert farm.plan_time_step(200) == window / 200
+
+    def test_zero_sessions_fall_back_to_session_seconds(self, tiny_world):
+        farm = CrawlerFarm(tiny_world)
+        assert (
+            farm.plan_time_step(0)
+            == farm.config.crawler.session_seconds
+        )
+
+    def test_scheduler_grid_is_schedule_independent(self, tiny_world):
+        """One global step for a whole budget: cutting the budget into
+        rounds must not change the grid the rounds run on."""
+        farm = CrawlerFarm(tiny_world)
+        whole = farm.plan_time_step(120)
+        pinned = CrawlerFarm(tiny_world, FarmConfig(plan_time_step=whole))
+        for round_sessions in (4, 36, 120):
+            assert pinned.plan_time_step(round_sessions) == whole

@@ -365,6 +365,50 @@ class TestFleet:
         assert one.failed_attempts == two.failed_attempts
         assert one.protection == two.protection
 
+    def test_poll_jitter_keeps_poll_count_and_protection(self):
+        def run(jitter):
+            server = FeedServer(self.history())
+            config = FleetConfig(
+                cohorts=4,
+                clients_per_cohort=10,
+                poll_interval_minutes=30.0,
+                poll_jitter_fraction=jitter,
+                seed=5,
+            )
+            return FeedClientFleet(server, config, gsb=_NeverGsb()).run()
+
+        plain, jittered = run(0.0), run(0.5)
+        assert jittered.polls == plain.polls
+        assert len(jittered.protection) == len(plain.protection) == 2
+        # The jittered timeline genuinely differs from the grid one.
+        assert any(
+            a.mean_protected_at != b.mean_protected_at
+            for a, b in zip(plain.protection, jittered.protection)
+        )
+
+    def test_poll_jitter_is_deterministic(self):
+        def run():
+            server = FeedServer(self.history())
+            config = FleetConfig(
+                cohorts=3,
+                clients_per_cohort=10,
+                poll_interval_minutes=30.0,
+                poll_jitter_fraction=0.4,
+                seed=9,
+            )
+            return FeedClientFleet(server, config, gsb=_NeverGsb()).run()
+
+        one, two = run(), run()
+        assert one.polls == two.polls
+        assert one.protection == two.protection
+        assert one.lag_samples_minutes == two.lag_samples_minutes
+
+    def test_poll_jitter_fraction_validated(self):
+        with pytest.raises(ValueError, match="poll_jitter_fraction"):
+            FleetConfig(poll_jitter_fraction=1.0)
+        with pytest.raises(ValueError, match="poll_jitter_fraction"):
+            FleetConfig(poll_jitter_fraction=-0.1)
+
     def test_faults_delay_but_do_not_lose_protection(self):
         server = FeedServer(self.history())
         config = FleetConfig(

@@ -48,7 +48,11 @@ from repro.feed import (
     FeedSnapshot,
     FleetConfig,
 )
-from repro.feed.asyncserve import AsyncFeedHTTPServer, AsyncFeedServer
+from repro.feed.asyncserve import (
+    AsyncFeedHTTPServer,
+    AsyncFeedServer,
+    LatencyHistogram,
+)
 from repro.feed.http import FeedHTTPServer
 from repro.feed.snapshot import state_hash
 from repro.telemetry import Telemetry, use
@@ -628,3 +632,110 @@ class TestFleetPercentiles:
         assert latency["p50"] <= latency["p99"]
         # Wall-clock latencies are diagnostic, never part of equality.
         assert reports[0] == reports[1]
+
+
+# ------------------------------------------------- cross-replica stats
+
+
+class TestClusterStats:
+    def test_histogram_merge_matches_combined_observations(self):
+        one, two, combined = (LatencyHistogram() for _ in range(3))
+        for value in (0.02, 0.3, 7.0):
+            one.observe(value)
+            combined.observe(value)
+        for value in (0.04, 40.0):
+            two.observe(value)
+            combined.observe(value)
+        one.merge_record(two.to_record())
+        assert one.counts == combined.counts
+        assert one.total == combined.total
+        assert one.sum_ms == pytest.approx(combined.sum_ms)
+        assert one.summary() == combined.summary()
+
+    def test_histogram_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError, match="buckets"):
+            LatencyHistogram().merge_record(
+                LatencyHistogram(boundaries=(1.0, 2.0)).to_record()
+            )
+
+    def test_mailbox_merge_sums_counters_and_histograms(self, history, tmp_path):
+        """Two engines sharing a mailbox: either one's cluster view is
+        the sum of both, with its *own* counters read live."""
+        sibling = AsyncFeedServer(make_server(history), stats_dir=str(tmp_path))
+        local = AsyncFeedServer(make_server(history), stats_dir=str(tmp_path))
+        for _ in range(3):
+            sibling.respond(b"GET /v1/feed HTTP/1.1\r\nHost: x")
+        sibling.respond(b"GET /v1/feed?since=nope HTTP/1.1\r\nHost: x")
+        for _ in range(2):
+            local.respond(b"GET /v1/feed?since=1 HTTP/1.1\r\nHost: x")
+        # Fake a distinct sibling pid so the mailbox holds two replicas
+        # (both engines live in this test process).
+        record = sibling.stats_record()
+        record["replica_pid"] = -1
+        (tmp_path / "replica--1.json").write_text(json.dumps(record))
+        merged = local.cluster_stats()
+        assert merged["scope"] == "cluster"
+        assert merged["replicas"] == 2
+        assert merged["requests"] == 5
+        assert merged["full"] == 3
+        assert merged["delta"] == 2
+        assert merged["bad_requests"] == 1
+        assert merged["latency_ms"][FULL]["count"] == 3
+        assert merged["latency_ms"][DELTA]["count"] == 2
+        assert merged["latency_ms"]["error"]["count"] == 1
+        assert (
+            merged["bytes_served"]
+            == sibling.feed.stats.bytes_served + local.feed.stats.bytes_served
+        )
+
+    def test_mailbox_ignores_torn_or_foreign_files(self, history, tmp_path):
+        engine = AsyncFeedServer(make_server(history), stats_dir=str(tmp_path))
+        engine.respond(b"GET /v1/feed HTTP/1.1\r\nHost: x")
+        (tmp_path / "replica--2.json").write_text("{not json")
+        (tmp_path / "notes.txt").write_text("ignored")
+        merged = engine.cluster_stats()
+        assert merged["replicas"] == 1
+        assert merged["requests"] == 1
+
+    def test_publish_is_atomic_and_idempotent(self, history, tmp_path):
+        engine = AsyncFeedServer(make_server(history), stats_dir=str(tmp_path))
+        engine.respond(b"GET /v1/feed HTTP/1.1\r\nHost: x")
+        engine.publish_stats()
+        engine.publish_stats()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == [f"replica-{__import__('os').getpid()}.json"]
+        record = json.loads((tmp_path / files[0]).read_text())
+        assert record["counters"]["requests"] == 1
+
+    @pytest.mark.skipif(
+        not hasattr(socket, "SO_REUSEPORT"), reason="needs SO_REUSEPORT"
+    )
+    def test_live_cluster_scope_accounts_every_replica(self, history):
+        """Fire /v1/feed at a 2-replica server until both have served,
+        then the cluster view — from whichever replica answers — must
+        converge on the exact fleet-wide totals."""
+        server = AsyncFeedHTTPServer(make_server(history), workers=2)
+        with server:
+            pids, sent = set(), 0
+            deadline = time.monotonic() + 20
+            while len(pids) < 2 and time.monotonic() < deadline:
+                fetch(server.port, "/v1/feed")
+                sent += 1
+                stats = json.loads(fetch(server.port, "/v1/stats")[1])
+                pids.add(stats["replica_pid"])
+            assert len(pids) == 2, "both replicas should have answered"
+            merged = None
+            while time.monotonic() < deadline:
+                merged = json.loads(
+                    fetch(server.port, "/v1/stats?scope=cluster")[1]
+                )
+                if merged["requests"] == sent and merged["replicas"] == 2:
+                    break
+                time.sleep(0.1)  # sibling mailbox refresh is periodic
+            assert merged is not None
+            assert merged["scope"] == "cluster"
+            assert merged["replicas"] == 2
+            assert sorted(merged["replica_pids"]) == sorted(pids)
+            assert merged["requests"] == sent
+            assert merged["full"] == sent
+            assert merged["latency_ms"][FULL]["count"] == sent
