@@ -16,7 +16,9 @@ embeds the network's invariant token — the reversal/attribution anchor.
 
 from __future__ import annotations
 
+import bisect
 import enum
+import itertools
 import random
 
 from repro.adnet.spec import AdNetworkSpec
@@ -53,11 +55,23 @@ _TACTIC_WEIGHTS = {
 }
 
 
+#: ``choose_tactic`` runs once per snippet per page materialization, so
+#: the cumulative-weight table ``rng.choices`` would rebuild on every
+#: call is precomputed.  The draw itself replicates
+#: ``rng.choices(tactics, weights=weights, k=1)[0]`` exactly: one
+#: ``rng.random()`` scaled by the float total, bisected with the same
+#: bounds CPython uses.
+_TACTICS = list(_TACTIC_WEIGHTS)
+_CUM_WEIGHTS = list(itertools.accumulate(_TACTIC_WEIGHTS.values()))
+_CUM_TOTAL = _CUM_WEIGHTS[-1] + 0.0
+
+
 def choose_tactic(rng: random.Random) -> AdTactic:
     """Sample a tactic with the default weights."""
-    tactics = list(_TACTIC_WEIGHTS)
-    weights = [_TACTIC_WEIGHTS[tactic] for tactic in tactics]
-    return rng.choices(tactics, weights=weights, k=1)[0]
+    index = bisect.bisect(
+        _CUM_WEIGHTS, rng.random() * _CUM_TOTAL, 0, len(_TACTICS) - 1
+    )
+    return _TACTICS[index]
 
 
 def build_snippet(

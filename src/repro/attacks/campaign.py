@@ -96,6 +96,7 @@ class Campaign:
         # interleave (keeps sharded crawls identical to sequential).
         self._download_rngs: dict[str, random.Random] = {}
         self._on_new_domain: NewDomainHook | None = None
+        self._active_memo: tuple[float, str] | None = None
         self._page_cache: dict[str, object] = {}
 
     # ------------------------------------------------------------- surface
@@ -115,12 +116,21 @@ class Campaign:
         return parse_url(f"http://{self.tds_domain}/go?cid={self.key}")
 
     def active_attack_domain(self, now: float) -> str:
-        """The attack domain live at ``now`` (rotating the pool as needed)."""
-        before = len(self.pool.all_domains())
+        """The attack domain live at ``now`` (rotating the pool as needed).
+
+        Ad decisions query this several times at the same virtual
+        instant; repeated queries at an identical ``now`` cannot rotate
+        the pool or surface new domains, so the last answer is memoized.
+        """
+        memo = self._active_memo
+        if memo is not None and memo[0] == now and now < self.pool.next_rotation:
+            return memo[1]
+        before = self.pool.domain_count
         domain = self.pool.active_domain(now)
-        if self._on_new_domain is not None:
-            for fresh in self.pool.all_domains()[before:]:
+        if self._on_new_domain is not None and self.pool.domain_count > before:
+            for fresh in self.pool.domains_since(before):
                 self._on_new_domain(self.key, fresh, self.pool.activation_time(fresh))
+        self._active_memo = (now, domain)
         return domain
 
     def attack_url(self, now: float) -> Url:

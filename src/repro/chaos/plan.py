@@ -45,12 +45,16 @@ _OCCURRENCE_POOLS: dict[str, tuple[int, ...]] = {
     "checkpoint.persist": (1, 5, 40),
     "feed.publish": (1, 3, 9),
     "parallel.merge": (1,),
-    # A tiny lazy run's reversal pass alone materializes every publisher
-    # (~130 builds), so these depths always fire before the crawl starts.
+    # Reversal answers from the record index (no materialization), so
+    # builds now happen as the crawl reaches each publisher — a tiny
+    # lazy run still materializes ~90 pages, past every depth here.
     "world.materialize": (1, 15, 75),
     # One hit per completed crawl round; an adaptive tiny run with the
     # default round sizing spans roughly a dozen rounds.
     "policy.update": (1, 2, 4),
+    # One hit per crawled domain (the batch kernel resolves every domain,
+    # even ad-free ones); a tiny run crawls ~40+ domains.
+    "farm.sessionbatch": (1, 6, 30),
 }
 
 

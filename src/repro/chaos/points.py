@@ -74,6 +74,14 @@ WORLD_POINTS = ("world.materialize.pre", "world.materialize.post")
 #: back and the resumed run recomputes the identical record from the
 #: replayed stages.
 POLICY_POINTS = ("policy.update.pre", "policy.update.post")
+#: The batch session kernel's per-domain resolve phase: ``pre`` dies
+#: before any deferred screenshot hash is computed, ``post`` after the
+#: resolved interactions committed to the in-memory checkpoint but
+#: before the domain's batch reaches the store.  Either way nothing of
+#: the domain was persisted, so recovery re-crawls it from the last
+#: progress marker.  Reached once per crawled domain under the default
+#: (batch) kernel, in whichever process runs the domain.
+SESSIONBATCH_POINTS = ("farm.sessionbatch.pre", "farm.sessionbatch.post")
 
 CRASH_POINTS = (
     STORE_POINTS
@@ -83,6 +91,7 @@ CRASH_POINTS = (
     + MERGE_POINTS
     + WORLD_POINTS
     + POLICY_POINTS
+    + SESSIONBATCH_POINTS
 )
 
 #: Points that only execute inside shard worker processes / the parallel

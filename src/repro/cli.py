@@ -8,7 +8,7 @@ Subcommands::
 
     seacma run       --preset tiny --seed 7 --days 2 [--fault-rate P]
                      [--no-retries] [--no-milking] [--out DIR]
-                     [--no-lazy-world]
+                     [--no-lazy-world] [--session-kernel batch|scalar]
                      [--stream --store-dir DIR [--batch-domains N]
                       [--workers K] [--fsync]]
                      [--policy static|egreedy|ucb1 [--explore-floor F]
@@ -16,7 +16,8 @@ Subcommands::
                      [--trace-dir DIR] [--metrics]
     seacma resume    STORE_DIR --days 2 [--no-milking]
                      [--batch-domains N] [--workers K] [--fsync]
-                     [--no-lazy-world] [--trace-dir DIR] [--metrics]
+                     [--no-lazy-world] [--session-kernel batch|scalar]
+                     [--trace-dir DIR] [--metrics]
     seacma tables    --preset tiny --seed 7 --days 2 [--from-store DIR]
     seacma feeds     --preset tiny --seed 7 --days 2
     seacma report    --preset tiny --seed 7 --days 2 [--from-store DIR]
@@ -55,6 +56,14 @@ round-robin slice so low-yield networks keep surfacing.  Decisions are
 persisted to the store's ``policy`` stream, so ``seacma resume``
 replays them byte-identically; ``--policy static`` (no budget) keeps
 today's plan, byte for byte.
+
+``--session-kernel`` selects the session-simulation kernel
+(:mod:`repro.core.sessionbatch`): ``batch`` (the default) defers each
+domain's pure per-interaction work — screenshot hashing, landing-page
+features — into a content-deduplicated, numpy-vectorized resolve phase;
+``scalar`` is the original inline loop.  The two kernels are
+byte-identical in every output (store, trace, feeds, policy stream), so
+the choice is purely about wall time.
 
 Worlds are built lazily by default (``--lazy-world``): publisher pages
 are derived on demand into a bounded cache, so populations of 10k+
@@ -170,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "loss, not just process death)",
             )
             command.add_argument(
+                "--session-kernel",
+                choices=("batch", "scalar"),
+                default="batch",
+                help="session-simulation kernel: batch defers and "
+                "vectorizes screenshot hashing per domain (the fast "
+                "path); scalar is the original inline loop; outputs "
+                "are byte-identical either way",
+            )
+            command.add_argument(
                 "--policy",
                 choices=("static", "egreedy", "ucb1"),
                 default="static",
@@ -216,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync",
         action="store_true",
         help="fsync every store write while resuming",
+    )
+    resume.add_argument(
+        "--session-kernel",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="session-simulation kernel for the resumed crawl "
+        "(byte-identical outputs either way)",
     )
     _add_lazy_world_argument(resume)
     _add_telemetry_arguments(resume)
@@ -362,6 +387,7 @@ def _run_pipeline(args):
         )
     pipeline = SeacmaPipeline(
         world,
+        farm_config=_farm_config(args),
         milking_config=_milking_config(args),
         retries_enabled=not getattr(args, "no_retries", False),
         sched_config=sched_config,
@@ -429,13 +455,27 @@ def _milking_config(args) -> MilkingConfig:
     )
 
 
+def _farm_config(args):
+    """Farm config from CLI flags (commands without the flags get defaults)."""
+    from repro.core.farm import FarmConfig
+    from repro.core.sessionbatch import DEFAULT_KERNEL
+
+    return FarmConfig(
+        session_kernel=getattr(args, "session_kernel", DEFAULT_KERNEL)
+    )
+
+
 def _resume(args) -> int:
     from repro.store import JsonlStore
     from repro.store.persist import load_world
 
     store = JsonlStore.open(args.store_dir, fsync=args.fsync)
     world = load_world(store, lazy=args.lazy_world)
-    pipeline = SeacmaPipeline(world, milking_config=_milking_config(args))
+    pipeline = SeacmaPipeline(
+        world,
+        farm_config=_farm_config(args),
+        milking_config=_milking_config(args),
+    )
     telemetry = _activate_telemetry(args, world)
     try:
         result = pipeline.resume_streaming(

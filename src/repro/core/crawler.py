@@ -145,8 +145,15 @@ def crawl_session(
     profile: UserAgentProfile,
     vantage: VantagePoint,
     config: CrawlerConfig | None = None,
+    recorder=None,
 ) -> list[AdInteraction]:
-    """Run one crawling session and return the recorded ad interactions."""
+    """Run one crawling session and return the recorded ad interactions.
+
+    ``recorder`` (a :class:`repro.core.sessionbatch.DeferredRecorder`)
+    diverts the pure per-interaction work — screenshot hashing, landing
+    page feature extraction — out of the session for a later batched
+    resolve; ``None`` computes both inline, exactly as before.
+    """
     config = config if config is not None else CrawlerConfig()
     client = DevToolsClient(internet, profile, vantage, stealth=True, bypass_locking=True)
     browser = client.browser
@@ -177,11 +184,16 @@ def crawl_session(
             internet.clock.advance(2.0)  # think time between clicks
             for new_tab in outcome.new_tabs:
                 interactions.append(
-                    _record_interaction(browser, tab, new_tab, profile, vantage)
+                    _record_interaction(
+                        browser, tab, new_tab, profile, vantage, recorder=recorder
+                    )
                 )
             if outcome.navigated_away:
                 interactions.append(
-                    _record_interaction(browser, tab, tab, profile, vantage, stolen=True)
+                    _record_interaction(
+                        browser, tab, tab, profile, vantage,
+                        stolen=True, recorder=recorder,
+                    )
                 )
                 # Re-open the browser tab on the publisher, §3.2.  The
                 # reload gets a fresh DOM, so re-rank its elements.
@@ -203,6 +215,7 @@ def _record_interaction(
     profile: UserAgentProfile,
     vantage: VantagePoint,
     stolen: bool = False,
+    recorder=None,
 ) -> AdInteraction:
     """Snapshot one triggered ad from the session log."""
     log = browser.log
@@ -237,8 +250,16 @@ def _record_interaction(
                 push_endpoint = entry.push_endpoint
     page = landing_tab.page
     labels = dict(page.labels) if page is not None else {}
-    features = (
-        PageFeatures.from_page(page, landing_host) if page is not None else PageFeatures()
+    if page is None:
+        features = PageFeatures()
+    elif recorder is not None:
+        features = recorder.page_features(page, landing_host)
+    else:
+        features = PageFeatures.from_page(page, landing_host)
+    screenshot_hash = (
+        recorder.screenshot_hash(shot.image)
+        if recorder is not None
+        else dhash128(shot.image)
     )
     return AdInteraction(
         publisher_domain=publisher_tab.history[0].host if publisher_tab.history else "",
@@ -248,7 +269,7 @@ def _record_interaction(
         landing_url=landing_url,
         landing_host=landing_host,
         landing_e2ld=e2ld(landing_host) if landing_host else "",
-        screenshot_hash=dhash128(shot.image),
+        screenshot_hash=screenshot_hash,
         timestamp=shot.timestamp,
         chain=tuple(chain),
         publisher_scripts=scripts,

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 
 from repro.browser.useragent import PROFILES, UserAgentProfile
 from repro.core.crawler import AdInteraction, CrawlerConfig, crawl_session
+from repro.core.sessionbatch import DEFAULT_KERNEL, make_kernel
 from repro.ecosystem.world import World
 from repro.errors import ConfigError, TabCrashError, TransientError
 from repro.rng import derive
@@ -72,6 +73,11 @@ class FarmConfig:
     #: eligible universe once up front, and re-capping each (already
     #: capped) round slice would truncate it again.
     apply_residential_cap: bool = True
+    #: Session-simulation kernel (:mod:`repro.core.sessionbatch`):
+    #: ``batch`` defers and vectorizes the pure per-interaction work
+    #: (screenshot hashing, page features); ``scalar`` is the original
+    #: inline loop.  Byte-identical outputs either way.
+    session_kernel: str = DEFAULT_KERNEL
 
 
 @dataclass
@@ -92,6 +98,15 @@ class CrawlDataset:
     residential_dropped: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Lazily-built index of publisher domains with recorded interactions
+    #: (``None`` until first queried).  Keeps the per-domain "did this
+    #: publisher trigger ads?" check O(1) instead of rescanning the whole
+    #: interaction list for every completed domain — the rescan is
+    #: quadratic in crawl size and dominates wall time past ~10k
+    #: publishers.
+    _interaction_domains: set[str] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def duration(self) -> float:
@@ -101,6 +116,24 @@ class CrawlDataset:
     def distinct_landing_hosts(self) -> set[str]:
         """All third-party landing hosts observed."""
         return {record.landing_host for record in self.interactions if record.landing_host}
+
+    def note_interactions(self, records: Iterable[AdInteraction]) -> None:
+        """Keep the interaction-domain index current after an extend.
+
+        Callers append ``records`` to :attr:`interactions` themselves;
+        this only maintains the index (and only once it has been built).
+        """
+        if self._interaction_domains is not None:
+            for record in records:
+                self._interaction_domains.add(record.publisher_domain)
+
+    def has_interactions_from(self, domain: str) -> bool:
+        """Whether any recorded interaction came from ``domain``."""
+        if self._interaction_domains is None:
+            self._interaction_domains = {
+                record.publisher_domain for record in self.interactions
+            }
+        return domain in self._interaction_domains
 
 
 @dataclass
@@ -196,6 +229,10 @@ class CrawlerFarm:
     def __init__(self, world: World, config: FarmConfig | None = None) -> None:
         self.world = world
         self.config = config if config is not None else FarmConfig()
+        #: The session kernel driving each plan entry's inner loop
+        #: (validated here so a bad ``session_kernel`` fails at
+        #: construction, not mid-crawl).
+        self.kernel = make_kernel(self.config.session_kernel)
         #: Progress of the current/last :meth:`crawl` call; pass it back
         #: in to resume after a crash.
         self.checkpoint: CrawlCheckpoint | None = None
@@ -349,15 +386,10 @@ class CrawlerFarm:
         leaves the end-of-crawl bookkeeping to the merge step.
         """
         world = self.world
-        config = self.config
-        dataset = checkpoint.dataset
-        n_laptops = len(world.vantages_residential) or 1
         telemetry = current_telemetry()
         for entry in entries:
             if entry.domain in checkpoint.completed_domains:
                 continue
-            batch: list[AdInteraction] = []
-            sessions_run = 0
             plan_start = plan.session_time(entry.position, 0)
             # Operational lane: this span lives wherever the sessions
             # actually execute (parent or shard worker), so it is not part
@@ -368,39 +400,16 @@ class CrawlerFarm:
                 lane=SHARD_LANE,
                 sim_start=plan_start,
             ), world.internet.scoped(entry.domain):
-                for profile_index, profile in enumerate(config.profiles):
-                    key = (entry.domain, profile.name)
-                    if key in checkpoint.completed_sessions:
-                        continue
-                    world.clock.seek(plan.session_time(entry.position, profile_index))
-                    if entry.residential:
-                        vantage = world.vantages_residential[
-                            (entry.residential_base + profile_index) % n_laptops
-                        ]
-                    else:
-                        vantage = world.vantage_institution
-                    interactions = self._run_session(entry.domain, profile, vantage)
-                    dataset.sessions += 1
-                    sessions_run += 1
-                    telemetry.inc("crawl.sessions")
-                    telemetry.inc("crawl.interactions", len(interactions))
-                    dataset.interactions.extend(interactions)
-                    batch.extend(interactions)
-                    for record in interactions:
-                        if record.landing_e2ld:
-                            dataset.landing_click_counts[record.landing_e2ld] += 1
-                    checkpoint.completed_sessions.add(key)
-                    if entry.residential:
-                        checkpoint.laptop_index = (
-                            entry.residential_base + profile_index + 1
-                        )
+                batch, sessions_run = self.kernel.run_entry(
+                    self, entry, plan, checkpoint
+                )
             yield self._complete_domain(
                 checkpoint, entry, batch, world.clock.now(), sessions_run,
                 plan_start=plan_start,
             )
         if not partial:
             world.clock.seek(plan.end_time)
-            dataset.finished_at = plan.end_time
+            checkpoint.dataset.finished_at = plan.end_time
 
     def _complete_domain(
         self,
@@ -420,9 +429,7 @@ class CrawlerFarm:
             dataset.publishers_institutional += 1
         # Derived from the dataset (not a loop-local flag) so a domain
         # resumed mid-way still counts its pre-crash interactions.
-        if any(
-            record.publisher_domain == entry.domain for record in dataset.interactions
-        ):
+        if dataset.has_interactions_from(entry.domain):
             dataset.publishers_with_ads.add(entry.domain)
         checkpoint.completed_domains.add(entry.domain)
         return CrawlBatch(
@@ -448,6 +455,7 @@ class CrawlerFarm:
         dataset = checkpoint.dataset
         dataset.sessions += batch.sessions
         dataset.interactions.extend(batch.interactions)
+        dataset.note_interactions(batch.interactions)
         for record in batch.interactions:
             if record.landing_e2ld:
                 dataset.landing_click_counts[record.landing_e2ld] += 1
@@ -463,7 +471,7 @@ class CrawlerFarm:
         )
 
     def _run_session(
-        self, domain: str, profile: UserAgentProfile, vantage
+        self, domain: str, profile: UserAgentProfile, vantage, recorder=None
     ) -> list[AdInteraction]:
         """Run one crawl session, surviving injected container crashes."""
         world = self.world
@@ -497,6 +505,7 @@ class CrawlerFarm:
                 profile,
                 vantage,
                 self.config.crawler,
+                recorder=recorder,
             )
         except TransientError:
             # Safety net: an unabsorbed fault killed the container

@@ -102,12 +102,13 @@ logger = logging.getLogger(__name__)
 def record_world_stats(world: World) -> None:
     """Ship the world's page-materialization counters to telemetry.
 
-    The distinct-publisher count is worker-invariant — the parent's
-    reversal pass derives every publisher page whatever ``--workers``
-    is — so it is safe as a canonical gauge.  Cache hits, misses and
-    evictions depend on which process served which page, so they ride an
-    operational shard-lane span and stay out of the byte-compared
-    metrics registry.
+    The distinct-publisher count is worker-invariant: the set of pages a
+    run derives is a property of the crawl, not of which process ran it,
+    and the sharded executor unions each worker's distinct set back into
+    the parent's stats at merge time — so it is safe as a canonical
+    gauge.  Cache hits, misses and evictions depend on which process
+    served which page, so they ride an operational shard-lane span and
+    stay out of the byte-compared metrics registry.
     """
     telemetry = current_telemetry()
     stats = world.publisher_directory.stats

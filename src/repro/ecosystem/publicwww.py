@@ -7,11 +7,12 @@ answers substring queries, returning domains with popularity ranks (the
 real service also supplied the ranks used for the top-10k/top-1k
 statistics of §4.3).
 
-Scaling: the index never holds materialized sources.  A query is one
-streaming pass over the directory — each page source is derived (or
-served from the directory's bounded page cache), tested against every
-token in the batch, and dropped — so reversing 11 patterns over a
-93k-publisher world costs one pass and O(hits) memory, not O(world).
+Scaling: the index never holds materialized sources.  Invariant-token
+queries (the reversal and expansion stages) answer straight from the
+directory's record table — no page is derived at all — and arbitrary
+substring queries fall back to one streaming pass over the directory,
+deriving, testing and dropping each page source, so even the fallback
+costs O(hits) memory, not O(world).
 """
 
 from __future__ import annotations
@@ -48,21 +49,50 @@ class PublicWWW:
         """Run several substring queries in one pass over the index.
 
         Returns per-token hit lists identical to per-token
-        :meth:`search` calls, but each page source is derived only once
-        for the whole batch — the entry point the pipeline's reversal
-        stage uses so a lazy world materializes each publisher once, not
-        once per seed network.
+        :meth:`search` calls.  Like the real service, queries answer
+        from a prebuilt index rather than fetching pages at query time:
+        a token that is some ad network's invariant token resolves
+        through the directory's record table (which networks a publisher
+        embeds is ground truth the snippet generator derives pages
+        from), so reversing a 93k-publisher world materializes nothing.
+        Tokens the index does not cover fall back to a streaming source
+        scan — one page derivation per publisher for the whole batch,
+        dropped after matching (O(hits) memory, not O(world)).
+
+        The index and the scan agree by construction: an obfuscated
+        snippet always embeds its network's invariant token verbatim
+        (``repro.js.obfuscation``), and the word-like tokens
+        (``atag_srv``-style, underscored) cannot arise from any other
+        page text — ``_0x`` + hex identifiers, 1–4 character string
+        chunks, DGA domains and rendered markup all miss the shape.
+        ``tests/test_ecosystem_services.py`` holds the two paths equal
+        on a full world.
         """
         if not all(tokens):
             raise ValueError("empty search token")
         hits: dict[str, list[SearchHit]] = {token: [] for token in tokens}
         directory = self._directory
-        for domain in directory.domains():
-            source = directory.source_of(domain)
-            rank = directory.rank_of(domain)
-            for token in hits:
-                if token in source:
-                    hits[token].append(SearchHit(domain=domain, rank=rank))
+        token_networks = {
+            server.spec.invariant_token: key
+            for key, server in directory.network_servers().items()
+        }
+        unindexed = [token for token in hits if token not in token_networks]
+        for token, results in hits.items():
+            key = token_networks.get(token)
+            if key is None:
+                continue
+            for domain in directory.domains():
+                if key in directory.network_keys_of(domain):
+                    results.append(
+                        SearchHit(domain=domain, rank=directory.rank_of(domain))
+                    )
+        if unindexed:
+            for domain in directory.domains():
+                source = directory.source_of(domain)
+                rank = directory.rank_of(domain)
+                for token in unindexed:
+                    if token in source:
+                        hits[token].append(SearchHit(domain=domain, rank=rank))
         for results in hits.values():
             results.sort(key=lambda hit: (hit.rank, hit.domain))
         return hits

@@ -171,6 +171,14 @@ class PublisherDirectory(VirtualServer):
         """A registered domain's embedded network keys (no materialization)."""
         return self._records[domain].network_keys
 
+    def network_servers(self) -> dict[str, "AdNetworkServer"]:
+        """The ad-network servers this directory can rebuild sites from.
+
+        Empty for eager-only directories constructed without
+        ``network_servers=`` (their sites carry the servers directly).
+        """
+        return self._network_servers
+
     def domains(self) -> tuple[str, ...]:
         """All registered domains, in insertion order."""
         return tuple(self._records)

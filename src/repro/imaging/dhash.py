@@ -11,9 +11,11 @@ distance).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.imaging.image import resize_area
+from repro.imaging.image import area_means, resize_area, to_grayscale
 
 DHASH_ROWS = 8
 DHASH_COLS = 16
@@ -33,6 +35,61 @@ def dhash128(image: np.ndarray) -> int:
     value = 0
     for bit in bits.ravel():
         value = (value << 1) | int(bit)
+    return value
+
+
+def dhash128_many(images: Sequence[np.ndarray]) -> list[int]:
+    """Compute :func:`dhash128` for a batch of images in one pass.
+
+    Images are grouped by shape and each group is downscaled as a single
+    stacked array operation.  Block sums of uint8 pixels are exact in
+    float64, so the stacked means — and therefore every comparison bit —
+    are bit-identical to hashing each image on its own.
+    """
+    results = [0] * len(images)
+    groups: dict[tuple[int, int], list[tuple[int, np.ndarray]]] = {}
+    for index, image in enumerate(images):
+        gray = to_grayscale(image)
+        groups.setdefault(gray.shape, []).append((index, gray))
+    for members in groups.values():
+        stack = np.stack([gray for _, gray in members]).astype(np.float64)
+        grids = area_means(stack, DHASH_ROWS, DHASH_COLS + 1)
+        bits = grids[:, :, 1:] > grids[:, :, :-1]
+        packed = np.packbits(bits.reshape(len(members), DHASH_BITS), axis=1)
+        for (index, _), row in zip(members, packed):
+            results[index] = int.from_bytes(row.tobytes(), "big")
+    return results
+
+
+def dhash128_pure(image: np.ndarray) -> int:
+    """Pure-Python :func:`dhash128` (no numpy array math).
+
+    Integer block sums divided by exact integer counts reproduce the
+    float64 block means bit-for-bit, so this returns the same hash as the
+    vectorized paths.  Used when the numpy accelerator is disabled.
+    """
+    data = to_grayscale(image).tolist()
+    in_height = len(data)
+    in_width = len(data[0])
+    out_width = DHASH_COLS + 1
+    row_edges = [(r * in_height) // DHASH_ROWS for r in range(DHASH_ROWS + 1)]
+    col_edges = [(c * in_width) // out_width for c in range(out_width + 1)]
+    value = 0
+    for r in range(DHASH_ROWS):
+        top = row_edges[r]
+        bottom = max(row_edges[r + 1], top + 1)
+        rows = data[top:bottom]
+        previous = 0.0
+        for c in range(out_width):
+            left = col_edges[c]
+            right = max(col_edges[c + 1], left + 1)
+            total = 0
+            for row in rows:
+                total += sum(row[left:right])
+            cell = total / ((bottom - top) * (right - left))
+            if c:
+                value = (value << 1) | (1 if cell > previous else 0)
+            previous = cell
     return value
 
 

@@ -97,6 +97,34 @@ def to_grayscale(image: np.ndarray) -> np.ndarray:
     raise ValueError(f"unsupported image shape {image.shape}")
 
 
+def area_edges(in_size: int, out_size: int) -> np.ndarray:
+    """Integer bucket boundaries for an area-average downscale."""
+    return (np.arange(out_size + 1) * in_size) // out_size
+
+
+def area_means(stack: np.ndarray, out_height: int, out_width: int) -> np.ndarray:
+    """Area-average a ``(n, H, W)`` float64 stack to ``(n, oh, ow)``.
+
+    Each output cell is the mean of an integer-bounded block of the input.
+    Block sums of uint8-valued data are integers below 2**53, so they are
+    exact in float64 no matter how they are accumulated — the result is
+    bit-identical to averaging each block individually.
+    """
+    _, in_height, in_width = stack.shape
+    row_edges = area_edges(in_height, out_height)
+    col_edges = area_edges(in_width, out_width)
+    # reduceat yields a[i] for an empty segment (indices[i] == indices[i+1]),
+    # which is exactly the one-row/one-column fallback the clamped slice
+    # bounds used to provide for degenerate buckets.
+    row_sums = np.add.reduceat(stack, row_edges[:-1], axis=1)
+    cells = np.add.reduceat(row_sums, col_edges[:-1], axis=2)
+    counts = (
+        np.maximum(np.diff(row_edges), 1)[:, None]
+        * np.maximum(np.diff(col_edges), 1)[None, :]
+    )
+    return cells / counts
+
+
 def resize_area(image: np.ndarray, out_height: int, out_width: int) -> np.ndarray:
     """Area-average resize (the downscale step of perceptual hashing).
 
@@ -104,13 +132,4 @@ def resize_area(image: np.ndarray, out_height: int, out_width: int) -> np.ndarra
     small targets dhash needs.
     """
     image = to_grayscale(image).astype(np.float64)
-    in_height, in_width = image.shape
-    row_edges = (np.arange(out_height + 1) * in_height) // out_height
-    col_edges = (np.arange(out_width + 1) * in_width) // out_width
-    out = np.empty((out_height, out_width), dtype=np.float64)
-    for r in range(out_height):
-        rows = image[row_edges[r] : max(row_edges[r + 1], row_edges[r] + 1)]
-        for c in range(out_width):
-            block = rows[:, col_edges[c] : max(col_edges[c + 1], col_edges[c] + 1)]
-            out[r, c] = block.mean()
-    return out
+    return area_means(image[None, :, :], out_height, out_width)[0]

@@ -21,8 +21,22 @@ _HEX = string.digits + "abcdef"
 
 
 def random_identifier(rng: random.Random, length: int = 8) -> str:
-    """A plausible minified-JS identifier (``_0x`` + hex)."""
-    return "_0x" + "".join(rng.choice(_HEX) for _ in range(length))
+    """A plausible minified-JS identifier (``_0x`` + hex).
+
+    Hot path: snippets are re-obfuscated on every publisher-page
+    materialization, so the per-character ``rng.choice`` wrappers are
+    inlined.  The draws replicate ``rng.choice(_HEX)`` bit for bit —
+    CPython's ``_randbelow(16)`` takes 5-bit draws and rejects values
+    >= 16 — so pages derived before and after this change are identical.
+    """
+    getrandbits = rng.getrandbits
+    chars = []
+    for _ in range(length):
+        value = getrandbits(5)
+        while value >= 16:
+            value = getrandbits(5)
+        chars.append(_HEX[value])
+    return "_0x" + "".join(chars)
 
 
 def obfuscate(invariant_token: str, code_domain: str, rng: random.Random) -> str:
@@ -48,11 +62,20 @@ def obfuscate(invariant_token: str, code_domain: str, rng: random.Random) -> str
 
 
 def _chunked_literal(text: str, rng: random.Random) -> str:
-    """Split ``text`` into randomly sized quoted chunks."""
+    """Split ``text`` into randomly sized quoted chunks.
+
+    ``rng.randint(1, 4)`` is inlined the same way as the draws in
+    :func:`random_identifier`: ``_randbelow(4)`` is a 3-bit draw
+    rejecting values >= 4, then shifted into ``1..4``.
+    """
+    getrandbits = rng.getrandbits
     pieces = []
     index = 0
     while index < len(text):
-        step = rng.randint(1, 4)
+        step = getrandbits(3)
+        while step >= 4:
+            step = getrandbits(3)
+        step += 1
         pieces.append(f"'{text[index:index + step]}'")
         index += step
     return ",".join(pieces)

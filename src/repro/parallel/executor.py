@@ -174,6 +174,9 @@ def run_shard(spec: ShardSpec) -> None:
                         if telemetry is not None
                         else None
                     ),
+                    materialized=sorted(
+                        world.publisher_directory.stats.distinct
+                    ),
                 )
             )
         except CrashError:
@@ -522,6 +525,14 @@ class ShardedCrawlExecutor:
             metrics = summary.get("metrics")
             if metrics is not None and telemetry.enabled:
                 telemetry.metrics.merge(metrics)
+            # Pages were derived in whichever worker crawled the domain;
+            # the union of the shards' sets is exactly what a sequential
+            # crawl builds, keeping the materialized-publishers gauge
+            # worker-invariant now that reversal answers from the record
+            # index instead of sweeping the population.
+            world.publisher_directory.stats.distinct.update(
+                summary.get("materialized") or ()
+            )
             for key, counters in summary.get("networks", {}).items():
                 server = world.networks.get(key)
                 if server is None:

@@ -14,16 +14,19 @@ from __future__ import annotations
 
 import hashlib
 import random
+from functools import lru_cache
 from typing import Sequence
 
 __all__ = ["derive", "rng_for", "weighted_choice", "stable_shuffle"]
 
 
+@lru_cache(maxsize=65536)
 def derive(seed: int, *labels: str | int) -> int:
     """Derive a child seed from ``seed`` and a path of labels.
 
     The derivation is stable across processes and Python versions (it uses
-    SHA-256 rather than ``hash()``).
+    SHA-256 rather than ``hash()``), and pure — so results are memoized
+    (page rebuilds in a lazy world re-derive the same labels repeatedly).
 
     >>> derive(7, "adnet", "popcash") == derive(7, "adnet", "popcash")
     True

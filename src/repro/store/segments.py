@@ -67,11 +67,18 @@ def summary_to_segment_record(
     network_counters: dict[str, dict[str, int]],
     fetch_count: int,
     metrics: dict[str, Any] | None = None,
+    materialized: list[str] | None = None,
 ) -> dict[str, Any]:
     """The segment's closing record: everything that isn't a batch.
 
     Written last, so its presence doubles as the worker's commit marker —
     a segment without a summary belongs to a worker that died mid-crawl.
+
+    ``materialized`` lists the publisher domains whose pages this worker
+    derived; the parent unions the shards' lists into its own
+    materialization stats so the ``world.materialized_publishers`` gauge
+    stays worker-invariant (pages are built in whichever process crawls
+    the domain, but the *set* of built pages is a property of the run).
     """
     return {
         "kind": "summary",
@@ -80,6 +87,7 @@ def summary_to_segment_record(
         "networks": network_counters,
         "fetch_count": fetch_count,
         "metrics": metrics,
+        "materialized": materialized,
     }
 
 

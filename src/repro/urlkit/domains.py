@@ -150,6 +150,20 @@ class ThrowawayDomainPool:
         """Whether ``domain`` is the campaign's live attack domain at ``now``."""
         return self.active_domain(now) == domain
 
+    @property
+    def next_rotation(self) -> float:
+        """When the current active domain expires (virtual time)."""
+        return self._next_rotation
+
+    @property
+    def domain_count(self) -> int:
+        """How many domains the pool has activated so far (O(1))."""
+        return len(self._history)
+
+    def domains_since(self, index: int) -> list[str]:
+        """Domains activated at or after position ``index``."""
+        return [domain for _, domain in self._history[index:]]
+
     def all_domains(self) -> list[str]:
         """Every domain the pool has ever activated, in activation order."""
         return [domain for _, domain in self._history]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from urllib.parse import parse_qsl, urlencode
 
 from repro.errors import UrlError
@@ -94,18 +95,33 @@ class Url:
         raise UrlError(f"only absolute references are supported, got {reference!r}")
 
     def __str__(self) -> str:
-        out = f"{self.origin}{self.path}"
-        if self.query:
-            out += f"?{self.query}"
-        if self.fragment:
-            out += f"#{self.fragment}"
+        # Urls are frozen, so the rendered form is computed once and
+        # memoized on the instance (hot: every fetch/log/store line
+        # stringifies URLs).
+        out = self.__dict__.get("_str")
+        if out is None:
+            out = f"{self.origin}{self.path}"
+            if self.query:
+                out += f"?{self.query}"
+            if self.fragment:
+                out += f"#{self.fragment}"
+            object.__setattr__(self, "_str", out)
         return out
 
 
 def parse_url(raw: str | Url) -> Url:
-    """Parse ``raw`` into a :class:`Url`, raising :class:`UrlError` on junk."""
+    """Parse ``raw`` into a :class:`Url`, raising :class:`UrlError` on junk.
+
+    Parsed results are memoized: :class:`Url` is frozen, so every caller
+    can safely share the instance cached for a given string.
+    """
     if isinstance(raw, Url):
         return raw
+    return _parse_url_cached(raw)
+
+
+@lru_cache(maxsize=16384)
+def _parse_url_cached(raw: str) -> Url:
     if not isinstance(raw, str):
         raise UrlError(f"expected str, got {type(raw).__name__}")
     match = _URL_RE.match(raw.strip())

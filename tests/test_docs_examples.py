@@ -34,6 +34,7 @@ DOC_FILES = (
     "docs/operations.md",
     "docs/paper_mapping.md",
     "docs/calibration.md",
+    "docs/performance.md",
 )
 
 #: Fence languages the documentation is allowed to use.  ``text`` is

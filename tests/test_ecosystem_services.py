@@ -278,3 +278,43 @@ class TestAdblock:
         filters = build_filter_list(list(tiny_world.networks.values()))
         popmyads = tiny_world.networks["popmyads"]
         assert not filters.blocks_network(popmyads)
+
+
+class TestPublicWWWIndex:
+    """The record-table index answers invariant-token queries exactly
+    like a brute-force source scan (the equivalence ``search_many``'s
+    docstring claims)."""
+
+    def _scan_results(self, world, tokens):
+        directory = world.publisher_directory
+        servers = directory.network_servers
+        # An empty server map makes every token "unindexed", forcing the
+        # streaming source-scan fallback.
+        directory.network_servers = lambda: {}
+        try:
+            return world.publicwww.search_many(tokens)
+        finally:
+            directory.network_servers = servers
+
+    def test_index_matches_source_scan_for_every_network_token(self, tiny_world):
+        directory = tiny_world.publisher_directory
+        tokens = [
+            server.spec.invariant_token
+            for server in directory.network_servers().values()
+        ]
+        assert tokens, "world has no ad networks to index"
+        indexed = tiny_world.publicwww.search_many(tokens)
+        scanned = self._scan_results(tiny_world, tokens)
+        assert indexed == scanned
+        assert any(indexed[token] for token in tokens)
+
+    def test_unknown_token_falls_back_to_scan(self, tiny_world):
+        hits = tiny_world.publicwww.search("zz_never_in_any_source")
+        assert hits == []
+
+    def test_index_materializes_nothing(self, tiny_world):
+        directory = tiny_world.publisher_directory
+        token = next(iter(directory.network_servers().values())).spec.invariant_token
+        built_before = directory.stats.pages_built
+        tiny_world.publicwww.search(token)
+        assert directory.stats.pages_built == built_before

@@ -63,6 +63,8 @@ def run_streaming(tmp_path: Path, seed: int, workers: int, lazy: bool):
         "metrics": telemetry.metrics.to_prometheus(),
         "store": store_digest(store_dir),
         "report": generate_report(world, result),
+        "world": world,
+        "result": result,
     }
 
 
@@ -239,7 +241,7 @@ class TestEquivalence:
             outputs[lazy] = generate_report(world, result)
         assert outputs[True] == outputs[False]
 
-    def test_materialized_gauge_counts_every_publisher(self, tmp_path):
+    def test_materialized_gauge_counts_only_crawled_publishers(self, tmp_path):
         artifacts = run_streaming(tmp_path, 7, 1, lazy=True)
         config = micro_config(7)
         population = config.n_publishers + config.resolved_new_publishers
@@ -248,4 +250,12 @@ class TestEquivalence:
             for line in artifacts["metrics"].splitlines()
             if line.startswith("seacma_world_materialized_publishers ")
         )
-        assert int(float(line.split()[-1])) == population
+        gauge = int(float(line.split()[-1]))
+        stats = artifacts["world"].publisher_directory.stats
+        crawled = set(artifacts["result"].publisher_domains)
+        # Reversal and expansion answer from the record-table index, so
+        # only publishers the crawl actually reaches are ever built —
+        # never the whole population.
+        assert stats.distinct <= crawled
+        assert gauge == stats.distinct_count
+        assert 0 < gauge < population
